@@ -1,0 +1,84 @@
+"""Ablation — replica-parallel SAIM (extension beyond the paper).
+
+Algorithm 1 is serial: one annealing run per multiplier update.  The
+replica-parallel variant spends the same total MCS but packs R runs into
+each iteration; on parallel hardware each iteration is one wall-clock anneal.
+This bench compares serial SAIM against R in {4, 8} at matched total MCS and
+reports the iteration count (the wall-clock proxy).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.analysis.experiments import current_scale, qkp_saim_config
+from repro.analysis.tables import format_percent, render_table
+from repro.baselines.exact_qkp import reference_qkp_optimum
+from repro.core.parallel_saim import ParallelSaim, ParallelSaimConfig
+from repro.core.saim import SelfAdaptiveIsingMachine
+from repro.problems.generators import paper_qkp_instance
+
+from _common import archive, run_once
+
+
+def test_ablation_parallel(benchmark):
+    scale = current_scale()
+    serial_config = qkp_saim_config(scale)
+    instance = paper_qkp_instance(scale.qkp_size(100), 50, 5)
+
+    def experiment():
+        reference = reference_qkp_optimum(instance, rng=0)
+        outcomes = {}
+
+        serial = SelfAdaptiveIsingMachine(serial_config).solve(
+            instance.to_problem(), rng=21
+        )
+        outcomes["serial (paper)"] = (
+            serial, serial_config.num_iterations, serial.total_mcs
+        )
+
+        for replicas in (2, 4):
+            iterations = max(2, serial_config.num_iterations // replicas)
+            base = replace(serial_config, num_iterations=iterations)
+            result = ParallelSaim(
+                ParallelSaimConfig(base, num_replicas=replicas)
+            ).solve(instance.to_problem(), rng=21)
+            outcomes[f"parallel R={replicas}"] = (result, iterations, result.total_mcs)
+
+        for result, _, _ in outcomes.values():
+            if result.found_feasible:
+                reference = max(reference, -result.best_cost)
+        return reference, outcomes
+
+    reference, outcomes = run_once(benchmark, experiment)
+
+    rows = []
+    accuracies = {}
+    for label, (result, iterations, total_mcs) in outcomes.items():
+        accuracy = (
+            100.0 * (-result.best_cost) / reference
+            if result.found_feasible
+            else float("nan")
+        )
+        accuracies[label] = accuracy
+        rows.append([
+            label,
+            iterations,
+            f"{total_mcs:,}",
+            format_percent(accuracy),
+        ])
+    table = render_table(
+        ["Variant", "Sequential iterations", "Total MCS", "Best accuracy"],
+        rows,
+        title=f"Ablation - replica-parallel SAIM on {instance.name} "
+        f"({scale.name} scale, matched MCS)",
+    )
+    archive("ablation_parallel", table)
+
+    # The parallel variants spend the same MCS budget in far fewer
+    # sequential iterations without collapsing in quality.
+    serial_acc = accuracies["serial (paper)"]
+    for replicas in (2, 4):
+        parallel_acc = accuracies[f"parallel R={replicas}"]
+        if not (np.isnan(serial_acc) or np.isnan(parallel_acc)):
+            assert parallel_acc >= serial_acc - 10.0

@@ -1,0 +1,98 @@
+"""Fig. 2 — the toy constraint x = 2: penalty gap vs Lagrange closing it.
+
+Reproduced with exact (brute-force) minimization so the statement is about
+the energy landscapes themselves, not the sampler: with P < P_C the penalty
+method's lower bound LB_P undershoots OPT with an infeasible minimizer,
+while sweeping lambda at the same P recovers LB_L = OPT (the dual maximum).
+"""
+
+import numpy as np
+
+from repro.analysis.figures import FigureSeries, ascii_plot, write_csv
+from repro.core.lagrangian import LagrangianIsing
+from repro.core.penalty import build_penalty_qubo
+from repro.core.problem import ConstrainedProblem, LinearConstraints
+from repro.ising.exhaustive import brute_force_ground_state
+
+from _common import OUTPUT_DIR, archive, run_once
+
+
+def toy_problem() -> ConstrainedProblem:
+    """min -(x-1)^2 over 3-bit integer x, subject to x = 2 (OPT = -1)."""
+    weights = np.array([1.0, 2.0, 4.0])
+    gram = np.outer(weights, weights)
+    diag = np.diag(gram).copy()
+    quad = -gram
+    np.fill_diagonal(quad, 0.0)
+    linear = -diag + 2.0 * weights
+    return ConstrainedProblem(
+        quadratic=quad,
+        linear=linear,
+        offset=-1.0,
+        equalities=LinearConstraints(weights[None, :], np.array([2.0])),
+        name="fig2-toy",
+    )
+
+
+OPT = -1.0
+SMALL_P = 1.0
+
+
+def test_fig2_toy_lagrange(benchmark):
+    problem = toy_problem()
+
+    def experiment():
+        penalties = np.geomspace(0.25, 64, 9)
+        penalty_bounds = []
+        penalty_feasible = []
+        for penalty in penalties:
+            state, bound = brute_force_ground_state(
+                build_penalty_qubo(problem, penalty)
+            )
+            penalty_bounds.append(bound)
+            penalty_feasible.append(problem.is_feasible(state))
+
+        lag = LagrangianIsing(problem, penalty=SMALL_P)
+        lambdas = np.linspace(0.0, 6.0, 25)
+        dual_values = []
+        for lam in lambdas:
+            _, bound = brute_force_ground_state(lag.ising_for(np.array([lam])))
+            dual_values.append(bound)
+        return (penalties, np.array(penalty_bounds), penalty_feasible,
+                lambdas, np.array(dual_values))
+
+    penalties, penalty_bounds, penalty_feasible, lambdas, dual_values = (
+        run_once(benchmark, experiment)
+    )
+
+    dual_series = FigureSeries("dual_LB(lambda)", lambdas, dual_values)
+    penalty_series = FigureSeries("LB_P(P)", penalties, penalty_bounds)
+    write_csv([dual_series, penalty_series], OUTPUT_DIR / "fig2_toy.csv")
+
+    first_feasible = penalty_feasible.index(True)
+    lines = [
+        "Fig. 2 - toy problem: min -(x-1)^2 s.t. x = 2, OPT = -1",
+        "",
+        "Penalty method (a): LB_P vs P "
+        f"(ground state first feasible at P = {penalties[first_feasible]:.2f})",
+        ascii_plot(penalty_series, width=60, height=8),
+        "",
+        f"Lagrange relaxation (b) at fixed P = {SMALL_P}: dual function",
+        ascii_plot(dual_series, width=60, height=8),
+        "",
+        f"max_lambda LB_L = {dual_values.max():.2f}  (OPT = {OPT})",
+    ]
+    archive("fig2_toy_lagrange", "\n".join(lines))
+
+    # Shape assertions straight from the figure:
+    # (1) small P: infeasible minimizer and LB_P < OPT;
+    assert not penalty_feasible[0]
+    assert penalty_bounds[0] < OPT
+    # (2) large P: feasible minimizer with LB_P = OPT;
+    assert penalty_feasible[-1]
+    assert penalty_bounds[-1] == OPT
+    # (3) the dual function is concave with maximum exactly OPT at P < P_C.
+    assert dual_values.max() == OPT
+    # Concavity (up to grid resolution): second differences non-positive.
+    second_diff = np.diff(dual_values, 2)
+    assert np.all(second_diff <= 1e-9)

@@ -1,0 +1,105 @@
+"""Fig. 4 — QKP accuracy quartiles per size (a) and the MCS budget table (b).
+
+(a) box-plot statistics of SAIM best accuracies across the three paper sizes
+    next to the PT-DA software proxy (the paper also quotes best SA [16] and
+    HE-IM [15] from the literature).
+(b) sample-count accounting: SAIM's 2M MCS vs the reported budgets of the
+    comparators, giving the paper's 100x / 7,500x / 9,750x sample savings.
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import (
+    current_scale,
+    qkp_saim_config,
+    run_saim_on_qkp,
+    table2_suite,
+    table3_suite,
+    table4_suite,
+)
+from repro.analysis.stats import quartile_summary
+from repro.analysis.tables import render_table
+from repro.baselines.exact_qkp import reference_qkp_optimum
+
+from _common import PAPER, archive, run_once
+from _qkp_tables import pt_da_accuracy
+
+
+def test_fig4_qkp_summary(benchmark):
+    scale = current_scale()
+    config = qkp_saim_config(scale)
+    pt_sweeps = {"smoke": 100, "ci": 400, "full": 20000}[scale.name]
+    suites = {100: table2_suite(scale), 200: table3_suite(scale),
+              300: table4_suite(scale)}
+
+    def experiment():
+        accuracy_by_size = {}
+        pt_by_size = {}
+        for paper_size, suite in suites.items():
+            saim_accs, pt_accs = [], []
+            for index, instance in enumerate(suite):
+                seed = paper_size * 10 + index
+                reference = reference_qkp_optimum(instance, rng=seed)
+                record = run_saim_on_qkp(instance, config, seed=seed,
+                                         reference_profit=reference)
+                reference = max(reference, record.reference_profit)
+                if not np.isnan(record.best_accuracy):
+                    saim_accs.append(record.best_accuracy)
+                pt = pt_da_accuracy(instance, reference, pt_sweeps, seed=seed)
+                if not np.isnan(pt):
+                    pt_accs.append(pt)
+            accuracy_by_size[paper_size] = saim_accs
+            pt_by_size[paper_size] = pt_accs
+        return accuracy_by_size, pt_by_size
+
+    accuracy_by_size, pt_by_size = run_once(benchmark, experiment)
+
+    rows = []
+    for paper_size in (100, 200, 300):
+        accs = accuracy_by_size[paper_size]
+        pts = pt_by_size[paper_size]
+        if accs:
+            summary = quartile_summary(accs)
+            saim_cell = (f"{summary.median:.1f} "
+                         f"[{summary.q1:.1f}, {summary.q3:.1f}]")
+        else:
+            saim_cell = "-"
+        pt_cell = f"{np.median(pts):.1f}" if pts else "-"
+        rows.append([
+            f"N={paper_size} (ran {scale.qkp_size(paper_size)})",
+            saim_cell,
+            pt_cell,
+            f"{PAPER['fig4a_median'][paper_size]:.1f}",
+        ])
+    table_a = render_table(
+        ["Paper size", "SAIM median [Q1, Q3]", "PT-DA proxy median",
+         "Paper SAIM median"],
+        rows,
+        title=f"Fig. 4a - QKP best-accuracy quartiles ({scale.name} scale)",
+    )
+
+    saim_mcs = config.num_iterations * config.mcs_per_run
+    rows_b = [
+        ["SAIM (paper)", f"{PAPER['fig4b_mcs']['SAIM']:.2g}", "1x"],
+        ["Best SA [16]", f"{PAPER['fig4b_mcs']['Best SA']:.2g}",
+         f"{PAPER['fig4b_mcs']['Best SA'] / PAPER['fig4b_mcs']['SAIM']:.0f}x"],
+        ["HE-IM [15]", f"{PAPER['fig4b_mcs']['HE-IM']:.2g}",
+         f"{PAPER['fig4b_mcs']['HE-IM'] / PAPER['fig4b_mcs']['SAIM']:.0f}x"],
+        ["PT-DA [17]", f"{PAPER['fig4b_mcs']['PT-DA']:.2g}",
+         f"{PAPER['fig4b_mcs']['PT-DA'] / PAPER['fig4b_mcs']['SAIM']:.0f}x"],
+        [f"SAIM (this run, {scale.name})", f"{saim_mcs:.2g}", "-"],
+    ]
+    table_b = render_table(
+        ["Method", "MCS", "vs SAIM"],
+        rows_b,
+        title="Fig. 4b - Monte Carlo sweep budgets",
+    )
+    archive("fig4_qkp_summary", table_a + "\n\n" + table_b)
+
+    # Shape: SAIM medians stay high at every size; at full scale the paper
+    # budget identity 2000 * 1000 = 2M must hold.
+    for paper_size in (100, 200, 300):
+        if accuracy_by_size[paper_size]:
+            assert np.median(accuracy_by_size[paper_size]) > 90.0
+    if scale.name == "full":
+        assert saim_mcs == 2_000_000

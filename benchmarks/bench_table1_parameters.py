@@ -1,0 +1,44 @@
+"""Table I — hyper-parameters used in the QKP and MKP experiments.
+
+The paper's Table I pins the SAIM settings; this benchmark asserts the
+library's config presets match it exactly and prints the table.  It also
+reports the scaled settings the other benchmarks run at under the current
+``REPRO_SCALE`` preset, so every archived report is self-describing.
+"""
+
+from repro.analysis.experiments import current_scale, mkp_saim_config, qkp_saim_config
+from repro.analysis.tables import render_table
+from repro.core.saim import SaimConfig
+
+from _common import archive, run_once
+
+
+def test_table1_parameters(benchmark):
+    def build():
+        return SaimConfig.qkp_paper(), SaimConfig.mkp_paper()
+
+    qkp, mkp = run_once(benchmark, build)
+
+    # Paper Table I, verbatim.
+    assert qkp.alpha == 2.0 and qkp.mcs_per_run == 1000
+    assert qkp.num_iterations == 2000 and qkp.beta_max == 10.0 and qkp.eta == 20.0
+    assert mkp.alpha == 5.0 and mkp.mcs_per_run == 1000
+    assert mkp.num_iterations == 5000 and mkp.beta_max == 50.0 and mkp.eta == 0.05
+
+    scale = current_scale()
+    qkp_run = qkp_saim_config(scale)
+    mkp_run = mkp_saim_config(scale)
+    rows = [
+        ["QKP (paper)", "2dN", 1000, 2000, 10, 20],
+        ["MKP (paper)", "5dN", 1000, 5000, 50, 0.05],
+        [f"QKP ({scale.name} scale)", "2dN", qkp_run.mcs_per_run,
+         qkp_run.num_iterations, qkp_run.beta_max, round(qkp_run.eta, 3)],
+        [f"MKP ({scale.name} scale)", "5dN", mkp_run.mcs_per_run,
+         mkp_run.num_iterations, mkp_run.beta_max, round(mkp_run.eta, 3)],
+    ]
+    table = render_table(
+        ["Experiment", "Penalty", "MCS/run", "Runs", "beta_max", "eta"],
+        rows,
+        title="Table I - parameters used in QKP and MKP experiments",
+    )
+    archive("table1_parameters", table)

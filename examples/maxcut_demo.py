@@ -1,0 +1,38 @@
+"""Max-cut on the p-bit Ising machine: the unconstrained substrate check.
+
+The paper's introduction recalls the classical IM pitch: minimizing the
+Ising Hamiltonian with J = -W solves max-cut.  This example runs the same
+p-bit machine SAIM uses on a random weighted graph (no constraints, no
+penalties, no multipliers) and verifies the result against brute force.
+
+Run:  python examples/maxcut_demo.py
+"""
+
+from repro.core.schedule import linear_beta_schedule
+from repro.ising.pbit import PBitMachine
+from repro.problems.maxcut import random_maxcut
+
+
+def main():
+    instance = random_maxcut(num_vertices=16, edge_probability=0.5, rng=4)
+    total_weight = instance.adjacency.sum() / 2
+    print(f"Graph: {instance.num_vertices} vertices, "
+          f"total edge weight {total_weight:.0f}")
+
+    _, optimal_cut = instance.brute_force_max_cut()
+    print(f"Exact maximum cut (brute force): {optimal_cut:.0f}")
+
+    machine = PBitMachine(instance.to_ising(), rng=0)
+    schedule = linear_beta_schedule(beta_max=8.0, num_sweeps=500)
+    best_cut = 0.0
+    for run in range(5):
+        result = machine.anneal(schedule)
+        cut = instance.cut_value(result.best_sample)
+        best_cut = max(best_cut, cut)
+        print(f"  p-bit run {run}: cut = {cut:.0f}")
+    print(f"\nBest p-bit cut: {best_cut:.0f} "
+          f"({100 * best_cut / optimal_cut:.1f}% of optimum)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Portfolio selection with pairwise synergies: QKP, SAIM vs penalty method.
+
+Assets have individual expected returns and *pairwise* synergy values
+(e.g. complementary positions), with a total capital constraint — exactly
+the quadratic knapsack structure of paper eq. 12.  The example contrasts:
+
+- the classical penalty method at the small heuristic P = 2dN (it mostly
+  produces infeasible samples, Fig. 1b), and
+- SAIM at the same P, which shapes the landscape on-line and recovers
+  high-quality feasible portfolios (Fig. 1c/d).
+
+It also prints the Lagrange-multiplier staircase of Fig. 3c as ASCII art.
+
+Run:  python examples/portfolio_synergies.py
+"""
+
+import numpy as np
+
+from repro import (
+    SaimConfig,
+    SelfAdaptiveIsingMachine,
+    encode_with_slacks,
+    generate_qkp,
+    penalty_method_solve,
+)
+from repro.analysis.figures import FigureSeries, ascii_plot
+from repro.core.encoding import normalize_problem
+from repro.core.penalty import density_heuristic_penalty
+
+
+def main():
+    # 50 assets, 50% synergy density - a shrunk 300-50-x of the paper.
+    instance = generate_qkp(num_items=50, density=0.5, rng=21)
+    problem = instance.to_problem()
+    encoded = encode_with_slacks(problem)
+    normalized, _ = normalize_problem(encoded.problem)
+    small_p = density_heuristic_penalty(normalized, alpha=2.0)
+    print(f"Portfolio: {instance.num_items} assets, capital cap "
+          f"{instance.capacity:.0f}, heuristic P = 2dN = {small_p:.1f}")
+
+    budget_runs, budget_mcs = 120, 400
+
+    penalty = penalty_method_solve(
+        encoded, small_p, num_runs=budget_runs, mcs_per_run=budget_mcs, rng=5
+    )
+    print(f"\nPenalty method @ P = 2dN, {budget_runs} runs x {budget_mcs} MCS:")
+    print(f"  feasible samples: {100 * penalty.feasible_ratio:.0f}%")
+    if penalty.best_x is not None:
+        print(f"  best portfolio value: {-penalty.best_cost:.0f}")
+    else:
+        print("  no feasible portfolio found (P below critical value)")
+
+    config = SaimConfig(num_iterations=budget_runs, mcs_per_run=budget_mcs)
+    result = SelfAdaptiveIsingMachine(config).solve(problem, rng=5)
+    print(f"\nSAIM, same budget and same initial P:")
+    print(f"  feasible samples: {100 * result.feasible_ratio:.0f}%")
+    if result.found_feasible:
+        print(f"  best portfolio value: {-result.best_cost:.0f}")
+        print(f"  selected assets: {int(result.best_x.sum())} of {instance.num_items}")
+
+    print("\nLagrange multiplier trajectory (Fig. 3c staircase):")
+    trace = result.trace
+    series = FigureSeries(
+        "lambda", np.arange(trace.num_iterations), trace.lambdas[:, 0]
+    )
+    print(ascii_plot(series, width=64, height=10))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim so `pip install -e .` works with old setuptools (no wheel)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""repro — Self-Adaptive Ising Machines for Constrained Optimization.
+
+A from-scratch Python reproduction of Delacour, "Self-Adaptive Ising
+Machines for Constrained Optimization" (DATE 2025, arXiv:2501.04971):
+a probabilistic-bit Ising machine whose energy landscape is reshaped
+on-line by Lagrange-multiplier updates, evaluated on quadratic and
+multidimensional knapsack problems.
+
+Quickstart::
+
+    from repro import SaimConfig, SelfAdaptiveIsingMachine, generate_qkp
+
+    instance = generate_qkp(num_items=40, density=0.5, rng=1)
+    saim = SelfAdaptiveIsingMachine(SaimConfig(num_iterations=100, mcs_per_run=300))
+    result = saim.solve(instance.to_problem(), rng=7)
+    print(result.best_cost, result.feasible_ratio)
+"""
+
+from repro.core import (
+    ConstrainedProblem,
+    LinearConstraints,
+    SaimConfig,
+    SaimResult,
+    SelfAdaptiveIsingMachine,
+    build_penalty_qubo,
+    density_heuristic_penalty,
+    encode_with_slacks,
+    normalize_problem,
+    penalty_method_solve,
+    tune_penalty,
+    LagrangianIsing,
+)
+from repro.ising import (
+    IsingModel,
+    QuboModel,
+    PBitMachine,
+    simulated_annealing,
+    parallel_tempering,
+    brute_force_ground_state,
+)
+from repro.problems import (
+    QkpInstance,
+    MkpInstance,
+    KnapsackInstance,
+    MaxCutInstance,
+    generate_qkp,
+    generate_mkp,
+    paper_qkp_instance,
+    paper_mkp_instance,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConstrainedProblem",
+    "LinearConstraints",
+    "SaimConfig",
+    "SaimResult",
+    "SelfAdaptiveIsingMachine",
+    "build_penalty_qubo",
+    "density_heuristic_penalty",
+    "encode_with_slacks",
+    "normalize_problem",
+    "penalty_method_solve",
+    "tune_penalty",
+    "LagrangianIsing",
+    "IsingModel",
+    "QuboModel",
+    "PBitMachine",
+    "simulated_annealing",
+    "parallel_tempering",
+    "brute_force_ground_state",
+    "QkpInstance",
+    "MkpInstance",
+    "KnapsackInstance",
+    "MaxCutInstance",
+    "generate_qkp",
+    "generate_mkp",
+    "paper_qkp_instance",
+    "paper_mkp_instance",
+    "__version__",
+]

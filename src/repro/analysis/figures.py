@@ -1,0 +1,66 @@
+"""Figure output without a plotting dependency.
+
+Each "figure" benchmark produces :class:`FigureSeries` objects that are
+written as CSV (for external plotting) and rendered as coarse ASCII plots in
+the benchmark log, which is enough to verify the *shape* of the paper's
+figures (cost converging onto OPT, lambda staircases, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+
+@dataclass
+class FigureSeries:
+    """One named (x, y) series of a figure."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self):
+        self.x = np.asarray(self.x, dtype=float)
+        self.y = np.asarray(self.y, dtype=float)
+        if self.x.shape != self.y.shape:
+            raise ValueError(
+                f"x and y must have equal shapes, got {self.x.shape} vs {self.y.shape}"
+            )
+
+
+def write_csv(series_list, path) -> None:
+    """Write a list of series to one CSV (label, x, y per row)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = ["label,x,y"]
+    for series in series_list:
+        for x_val, y_val in zip(series.x, series.y):
+            lines.append(f"{series.label},{x_val:g},{y_val:g}")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def ascii_plot(series: FigureSeries, width: int = 72, height: int = 14) -> str:
+    """Coarse ASCII rendering of one series (for the benchmark logs)."""
+    if series.x.size == 0:
+        return f"{series.label}: (empty)"
+    finite = np.isfinite(series.y)
+    if not np.any(finite):
+        return f"{series.label}: (no finite values)"
+    x = series.x[finite]
+    y = series.y[finite]
+    y_min, y_max = float(y.min()), float(y.max())
+    x_min, x_max = float(x.min()), float(x.max())
+    span_y = y_max - y_min or 1.0
+    span_x = x_max - x_min or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x_val, y_val in zip(x, y):
+        col = int((x_val - x_min) / span_x * (width - 1))
+        row = int((y_val - y_min) / span_y * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines = [f"{series.label}  [y: {y_min:.4g} .. {y_max:.4g}]"]
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append(f" x: {x_min:g} .. {x_max:g}")
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""The paper's metrics: accuracy (eq. 13) and quartile summaries (Fig. 4a)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def accuracy_percent(cost: float, optimum_cost: float) -> float:
+    """Accuracy ``100 * c / OPT`` for minimization costs (paper eq. 13).
+
+    Both arguments are *costs* (negative at good knapsack solutions); the
+    ratio is 100 at the optimum and smaller for worse feasible solutions.
+    """
+    if optimum_cost == 0:
+        raise ValueError("optimum cost must be non-zero")
+    if optimum_cost > 0:
+        raise ValueError(
+            f"accuracy is defined for negative optimum costs, got {optimum_cost}"
+        )
+    return 100.0 * cost / optimum_cost
+
+
+def accuracies(costs, optimum_cost: float) -> np.ndarray:
+    """Vectorized :func:`accuracy_percent` over a sequence of costs."""
+    costs = np.asarray(costs, dtype=float)
+    if optimum_cost >= 0:
+        raise ValueError(
+            f"accuracy is defined for negative optimum costs, got {optimum_cost}"
+        )
+    return 100.0 * costs / optimum_cost
+
+
+@dataclass(frozen=True)
+class QuartileSummary:
+    """Five-number summary used by the paper's box plot (Fig. 4a)."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    count: int
+
+    @property
+    def interquartile_range(self) -> float:
+        """IQR = Q3 - Q1 (the paper reports IQR < 0.8% for SAIM)."""
+        return self.q3 - self.q1
+
+
+def quartile_summary(values) -> QuartileSummary:
+    """Five-number summary of a non-empty sample."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    q1, median, q3 = np.percentile(values, [25, 50, 75])
+    return QuartileSummary(
+        minimum=float(values.min()),
+        q1=float(q1),
+        median=float(median),
+        q3=float(q3),
+        maximum=float(values.max()),
+        count=values.size,
+    )

@@ -1,0 +1,92 @@
+"""Generic parameter-sweep helper for experiments and ablations.
+
+Runs a solver callable over the cartesian grid of named parameter values,
+collects per-point metrics, and renders the result as a table — the pattern
+every ablation benchmark follows, available to users for their own studies::
+
+    sweep = ParameterSweep(
+        runner=lambda eta, alpha: run_my_experiment(eta, alpha),
+        grid={"eta": [5, 20, 80], "alpha": [1, 2, 5]},
+    )
+    results = sweep.run()
+    print(sweep.render(results, metrics=["accuracy", "feasible"]))
+
+The runner must return a mapping of metric name to value.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.analysis.tables import render_table
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: the parameter assignment and the measured metrics."""
+
+    params: dict
+    metrics: dict
+
+
+class ParameterSweep:
+    """Cartesian parameter sweep over a runner callable."""
+
+    def __init__(self, runner, grid: dict):
+        if not callable(runner):
+            raise TypeError("runner must be callable")
+        if not grid:
+            raise ValueError("grid must contain at least one parameter")
+        for name, values in grid.items():
+            if not values:
+                raise ValueError(f"parameter {name!r} has no values")
+        self._runner = runner
+        self._grid = {name: list(values) for name, values in grid.items()}
+
+    @property
+    def num_points(self) -> int:
+        """Number of grid points the sweep will evaluate."""
+        count = 1
+        for values in self._grid.values():
+            count *= len(values)
+        return count
+
+    def run(self) -> list[SweepPoint]:
+        """Evaluate the runner at every grid point, in grid order."""
+        names = list(self._grid)
+        points = []
+        for combo in itertools.product(*(self._grid[name] for name in names)):
+            params = dict(zip(names, combo))
+            metrics = self._runner(**params)
+            if not isinstance(metrics, dict):
+                raise TypeError(
+                    f"runner must return a dict of metrics, got {type(metrics).__name__}"
+                )
+            points.append(SweepPoint(params=params, metrics=dict(metrics)))
+        return points
+
+    def render(self, points, metrics=None, title: str = "") -> str:
+        """ASCII table of the sweep: one row per point."""
+        if not points:
+            raise ValueError("no sweep points to render")
+        names = list(self._grid)
+        if metrics is None:
+            metrics = list(points[0].metrics)
+        headers = names + list(metrics)
+        rows = []
+        for point in points:
+            row = [point.params[name] for name in names]
+            for metric in metrics:
+                value = point.metrics.get(metric)
+                row.append(f"{value:.4g}" if isinstance(value, float) else value)
+            rows.append(row)
+        return render_table(headers, rows, title=title)
+
+    def best(self, points, metric: str, maximize: bool = True) -> SweepPoint:
+        """The grid point with the best value of ``metric``."""
+        scored = [p for p in points if p.metrics.get(metric) is not None]
+        if not scored:
+            raise ValueError(f"no point has metric {metric!r}")
+        key = lambda p: p.metrics[metric]
+        return max(scored, key=key) if maximize else min(scored, key=key)

@@ -1,0 +1,46 @@
+"""Plain-text table rendering for the benchmark reports.
+
+Every benchmark prints its reproduction of a paper table with
+:func:`render_table`; the same strings are written to
+``benchmarks/output/`` so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def format_percent(value: float, decimals: int = 1) -> str:
+    """Format a percentage, using ``"-"`` for missing (NaN) values."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    return f"{value:.{decimals}f}"
+
+
+def render_table(headers, rows, title: str = "") -> str:
+    """Render an ASCII table with one header row.
+
+    ``rows`` may contain any stringifiable cells; column widths adapt.
+    """
+    headers = [str(h) for h in headers]
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(headers)}: {row}"
+            )
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells):
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in text_rows)
+    return "\n".join(lines)

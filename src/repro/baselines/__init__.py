@@ -1,0 +1,54 @@
+"""Comparator algorithms from the paper's evaluation.
+
+- :mod:`~repro.baselines.greedy` — density-ordered greedy construction and
+  repair/improvement operators (also the GA's repair step).
+- :mod:`~repro.baselines.ga` — Chu–Beasley genetic algorithm for MKP [28]
+  (Table V's "GA" column).
+- :mod:`~repro.baselines.milp` — exact MKP via scipy's HiGHS MILP, the
+  stand-in for the paper's Matlab ``intlinprog`` branch & bound.
+- :mod:`~repro.baselines.branch_and_bound` — an own depth-first B&B with an
+  LP-relaxation bound (validates the MILP wrapper and gives node counts).
+- :mod:`~repro.baselines.exact_qkp` — exact small-N QKP and the best-known
+  reference used as OPT for the large-N accuracy metric.
+"""
+
+from repro.baselines.greedy import (
+    greedy_qkp,
+    greedy_mkp,
+    repair_mkp,
+    repair_qkp,
+    local_improve_qkp,
+    local_improve_mkp,
+)
+from repro.baselines.ga import chu_beasley_ga, GaConfig, GaResult
+from repro.baselines.milp import solve_mkp_exact, MilpResult
+from repro.baselines.branch_and_bound import branch_and_bound_mkp, BnBResult
+from repro.baselines.exact_qkp import exact_qkp_bruteforce, reference_qkp_optimum
+from repro.baselines.qkp_bounds import (
+    branch_and_bound_qkp,
+    QkpBnBResult,
+    qkp_upper_bound,
+    optimistic_profits,
+)
+
+__all__ = [
+    "branch_and_bound_qkp",
+    "QkpBnBResult",
+    "qkp_upper_bound",
+    "optimistic_profits",
+    "greedy_qkp",
+    "greedy_mkp",
+    "repair_mkp",
+    "repair_qkp",
+    "local_improve_qkp",
+    "local_improve_mkp",
+    "chu_beasley_ga",
+    "GaConfig",
+    "GaResult",
+    "solve_mkp_exact",
+    "MilpResult",
+    "branch_and_bound_mkp",
+    "BnBResult",
+    "exact_qkp_bruteforce",
+    "reference_qkp_optimum",
+]

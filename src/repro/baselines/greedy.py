@@ -1,0 +1,170 @@
+"""Greedy construction, repair and local-improvement heuristics.
+
+These serve three roles:
+
+- fast reference points for the examples and tests;
+- the repair operator inside the Chu–Beasley GA (every GA child is made
+  feasible by dropping items, then greedily refilled);
+- building blocks of the "best-known" QKP reference optimum used by the
+  accuracy metric when instances are too large to solve exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.problems.mkp import MkpInstance
+from repro.problems.qkp import QkpInstance
+
+
+def _qkp_marginal_gains(instance: QkpInstance, x: np.ndarray) -> np.ndarray:
+    """Profit gained by adding each unselected item to selection ``x``."""
+    x_f = x.astype(float)
+    return instance.values + instance.pair_values @ x_f
+
+
+def greedy_qkp(instance: QkpInstance) -> np.ndarray:
+    """Grow a feasible QKP selection by best marginal gain per weight."""
+    n = instance.num_items
+    x = np.zeros(n, dtype=np.int8)
+    remaining = instance.capacity
+    candidates = set(range(n))
+    while candidates:
+        gains = _qkp_marginal_gains(instance, x)
+        scores = gains / instance.weights
+        best_item = None
+        best_score = -np.inf
+        for i in candidates:
+            if instance.weights[i] <= remaining and scores[i] > best_score:
+                best_score = scores[i]
+                best_item = i
+        if best_item is None or best_score <= 0:
+            break
+        x[best_item] = 1
+        remaining -= instance.weights[best_item]
+        candidates.discard(best_item)
+    return x
+
+
+def repair_qkp(instance: QkpInstance, x) -> np.ndarray:
+    """Make a QKP selection feasible by dropping the worst value/weight items."""
+    x = np.asarray(x, dtype=np.int8).copy()
+    while not instance.is_feasible(x):
+        selected = np.nonzero(x)[0]
+        x_f = x.astype(float)
+        contributions = instance.values[selected] + (instance.pair_values @ x_f)[selected]
+        ratios = contributions / instance.weights[selected]
+        x[selected[int(np.argmin(ratios))]] = 0
+    return x
+
+
+def local_improve_qkp(instance: QkpInstance, x, max_rounds: int = 50) -> np.ndarray:
+    """1-flip / 1-swap hill climbing on a feasible QKP selection."""
+    x = np.asarray(x, dtype=np.int8).copy()
+    if not instance.is_feasible(x):
+        x = repair_qkp(instance, x)
+    for _ in range(max_rounds):
+        improved = False
+        gains = _qkp_marginal_gains(instance, x)
+        weight = instance.total_weight(x)
+        # Additions.
+        for i in np.argsort(-gains):
+            if x[i] == 0 and gains[i] > 0 and weight + instance.weights[i] <= instance.capacity:
+                x[i] = 1
+                weight += instance.weights[i]
+                gains = _qkp_marginal_gains(instance, x)
+                improved = True
+        # Swaps: drop one selected, add one better unselected.
+        selected = np.nonzero(x)[0]
+        unselected = np.nonzero(x == 0)[0]
+        for i in selected:
+            x_without = x.copy()
+            x_without[i] = 0
+            gains_without = _qkp_marginal_gains(instance, x_without)
+            loss = gains_without[i]
+            room = instance.capacity - weight + instance.weights[i]
+            for j in unselected:
+                if instance.weights[j] <= room and gains_without[j] > loss:
+                    x = x_without
+                    x[j] = 1
+                    weight = instance.total_weight(x)
+                    improved = True
+                    break
+            else:
+                continue
+            break
+        if not improved:
+            break
+    return x
+
+
+def greedy_mkp(instance: MkpInstance) -> np.ndarray:
+    """Grow a feasible MKP selection by value per aggregate normalized weight."""
+    n = instance.num_items
+    x = np.zeros(n, dtype=np.int8)
+    capacities = instance.capacities.astype(float).copy()
+    safe_caps = np.where(capacities > 0, capacities, 1.0)
+    # Aggregate weight of an item: sum of its loads relative to capacities.
+    aggregate = (instance.weights / safe_caps[:, None]).sum(axis=0)
+    aggregate = np.where(aggregate > 0, aggregate, 1e-12)
+    order = np.argsort(-instance.values / aggregate)
+    loads = np.zeros(instance.num_constraints)
+    for i in order:
+        new_loads = loads + instance.weights[:, i]
+        if np.all(new_loads <= instance.capacities + 1e-9):
+            x[i] = 1
+            loads = new_loads
+    return x
+
+
+def repair_mkp(instance: MkpInstance, x) -> np.ndarray:
+    """Chu–Beasley repair: drop worst-ratio items until feasible, then refill."""
+    x = np.asarray(x, dtype=np.int8).copy()
+    safe_caps = np.where(instance.capacities > 0, instance.capacities, 1.0)
+    aggregate = (instance.weights / safe_caps[:, None]).sum(axis=0)
+    aggregate = np.where(aggregate > 0, aggregate, 1e-12)
+    ratio = instance.values / aggregate
+    # Drop phase (ascending ratio).
+    loads = instance.weights @ x.astype(float)
+    for i in np.argsort(ratio):
+        if np.all(loads <= instance.capacities + 1e-9):
+            break
+        if x[i]:
+            x[i] = 0
+            loads -= instance.weights[:, i]
+    # Refill phase (descending ratio).
+    for i in np.argsort(-ratio):
+        if x[i]:
+            continue
+        new_loads = loads + instance.weights[:, i]
+        if np.all(new_loads <= instance.capacities + 1e-9):
+            x[i] = 1
+            loads = new_loads
+    return x
+
+
+def local_improve_mkp(instance: MkpInstance, x, max_rounds: int = 50) -> np.ndarray:
+    """1-swap hill climbing on a feasible MKP selection."""
+    x = np.asarray(x, dtype=np.int8).copy()
+    if not instance.is_feasible(x):
+        x = repair_mkp(instance, x)
+    for _ in range(max_rounds):
+        improved = False
+        loads = instance.weights @ x.astype(float)
+        selected = np.nonzero(x)[0]
+        unselected = np.nonzero(x == 0)[0]
+        for i in selected:
+            for j in unselected:
+                if instance.values[j] <= instance.values[i]:
+                    continue
+                new_loads = loads - instance.weights[:, i] + instance.weights[:, j]
+                if np.all(new_loads <= instance.capacities + 1e-9):
+                    x[i], x[j] = 0, 1
+                    loads = new_loads
+                    improved = True
+                    break
+            if improved:
+                break
+        if not improved:
+            break
+    return x

@@ -1,0 +1,218 @@
+"""Command-line interface: solve instance files with the library's solvers.
+
+Usage (after ``pip install -e .`` / ``python setup.py develop``)::
+
+    python -m repro.cli generate-qkp out.qkp --items 50 --density 0.5 --seed 1
+    python -m repro.cli solve out.qkp --solver saim --iterations 150
+    python -m repro.cli solve instance.mkp --solver exact
+
+Formats are auto-detected from the extension (``.qkp`` / ``.mkp``); see
+:mod:`repro.problems.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Self-adaptive Ising machine for constrained optimization",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen_qkp = sub.add_parser("generate-qkp", help="write a random QKP instance")
+    gen_qkp.add_argument("path", type=Path)
+    gen_qkp.add_argument("--items", type=int, default=50)
+    gen_qkp.add_argument("--density", type=float, default=0.5)
+    gen_qkp.add_argument("--seed", type=int, default=0)
+
+    gen_mkp = sub.add_parser("generate-mkp", help="write a random MKP instance")
+    gen_mkp.add_argument("path", type=Path)
+    gen_mkp.add_argument("--items", type=int, default=50)
+    gen_mkp.add_argument("--knapsacks", type=int, default=5)
+    gen_mkp.add_argument("--tightness", type=float, default=0.5)
+    gen_mkp.add_argument("--seed", type=int, default=0)
+
+    solve = sub.add_parser("solve", help="solve an instance file")
+    solve.add_argument("path", type=Path)
+    solve.add_argument(
+        "--solver",
+        choices=("saim", "saim-pt", "parallel-saim", "penalty", "greedy",
+                 "exact", "ga"),
+        default="saim",
+    )
+    solve.add_argument("--iterations", type=int, default=150,
+                       help="SAIM iterations / penalty runs")
+    solve.add_argument("--mcs", type=int, default=400, help="MCS per run")
+    solve.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _load_instance(path: Path):
+    from repro.problems.io import read_mkp, read_qkp
+
+    suffix = path.suffix.lower()
+    if suffix == ".qkp":
+        return read_qkp(path), "qkp"
+    if suffix == ".mkp":
+        instance, _ = read_mkp(path)
+        return instance, "mkp"
+    raise SystemExit(f"unknown instance format {suffix!r} (use .qkp or .mkp)")
+
+
+def _solve(args) -> int:
+    from repro.core.saim import SaimConfig, SelfAdaptiveIsingMachine
+
+    instance, kind = _load_instance(args.path)
+    print(f"Loaded {kind.upper()} instance {instance.name!r} "
+          f"({instance.num_items} items)")
+
+    if args.solver == "greedy":
+        from repro.baselines.greedy import (
+            greedy_mkp,
+            greedy_qkp,
+            local_improve_mkp,
+            local_improve_qkp,
+        )
+
+        if kind == "qkp":
+            x = local_improve_qkp(instance, greedy_qkp(instance))
+        else:
+            x = local_improve_mkp(instance, greedy_mkp(instance))
+        print(f"greedy profit: {instance.profit(x):.0f}")
+        return 0
+
+    if args.solver == "exact":
+        if kind != "mkp":
+            from repro.baselines.exact_qkp import exact_qkp_bruteforce
+
+            if instance.num_items > 24:
+                raise SystemExit("exact QKP limited to 24 items; use --solver saim")
+            _, profit = exact_qkp_bruteforce(instance)
+            print(f"exact optimum profit: {profit:.0f}")
+            return 0
+        from repro.baselines.milp import solve_mkp_exact
+
+        result = solve_mkp_exact(instance)
+        print(f"exact optimum profit: {result.profit:.0f} "
+              f"({result.solve_seconds:.2f}s)")
+        return 0
+
+    if args.solver == "ga":
+        if kind != "mkp":
+            raise SystemExit("the GA baseline is defined for MKP instances")
+        from repro.baselines.ga import GaConfig, chu_beasley_ga
+
+        result = chu_beasley_ga(
+            instance,
+            GaConfig(population_size=50, num_children=20 * args.iterations),
+            rng=args.seed,
+        )
+        print(f"GA best profit: {result.best_profit:.0f}")
+        return 0
+
+    if args.solver == "penalty":
+        from repro.core.encoding import encode_with_slacks, normalize_problem
+        from repro.core.penalty import density_heuristic_penalty, tune_penalty
+
+        encoded = encode_with_slacks(instance.to_problem())
+        tuned = tune_penalty(
+            encoded, num_runs=args.iterations, mcs_per_run=args.mcs, rng=args.seed
+        )
+        result = tuned.result
+        print(f"tuned penalty P = {tuned.tuned_penalty:.1f}, "
+              f"feasible {100 * result.feasible_ratio:.0f}%")
+        if result.best_x is not None:
+            print(f"best profit: {-result.best_cost:.0f}")
+        else:
+            print("no feasible sample found")
+        return 0
+
+    # SAIM variants.
+    if kind == "qkp":
+        config = SaimConfig.qkp_paper().scaled(
+            args.iterations / 2000, args.mcs / 1000
+        )
+    else:
+        config = SaimConfig.mkp_paper().scaled(
+            args.iterations / 5000, args.mcs / 1000, compensate_eta=True
+        )
+    from dataclasses import replace
+
+    config = replace(config, eta=80.0, eta_decay="sqrt", normalize_step=True) \
+        if kind == "qkp" else config
+
+    if args.solver == "parallel-saim":
+        from repro.core.parallel_saim import ParallelSaim, ParallelSaimConfig
+
+        replicas = 4
+        base = replace(
+            config, num_iterations=max(2, config.num_iterations // replicas)
+        )
+        result = ParallelSaim(
+            ParallelSaimConfig(base, num_replicas=replicas)
+        ).solve(instance.to_problem(), rng=args.seed)
+    elif args.solver == "saim-pt":
+        from repro.ising.pt_machine import PTMachine
+
+        def factory(model, rng):
+            return PTMachine(model, rng=rng, num_replicas=8)
+
+        result = SelfAdaptiveIsingMachine(config, machine_factory=factory).solve(
+            instance.to_problem(), rng=args.seed
+        )
+    else:
+        result = SelfAdaptiveIsingMachine(config).solve(
+            instance.to_problem(), rng=args.seed
+        )
+    print(f"SAIM penalty P = {result.penalty:.2f}, "
+          f"feasible {100 * result.feasible_ratio:.0f}% "
+          f"({result.total_mcs} MCS total)")
+    if result.found_feasible:
+        print(f"best profit: {-result.best_cost:.0f}")
+        selected = [int(i) for i in np.nonzero(result.best_x)[0]]
+        print(f"selected items: {selected}")
+        return 0
+    print("no feasible sample found - increase --iterations")
+    return 1
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "generate-qkp":
+        from repro.problems.generators import generate_qkp
+        from repro.problems.io import write_qkp
+
+        instance = generate_qkp(
+            args.items, args.density, rng=args.seed,
+            name=f"{args.items}-{int(args.density * 100)}-{args.seed}",
+        )
+        write_qkp(instance, args.path)
+        print(f"wrote {args.path}")
+        return 0
+
+    if args.command == "generate-mkp":
+        from repro.problems.generators import generate_mkp
+        from repro.problems.io import write_mkp
+
+        instance = generate_mkp(
+            args.items, args.knapsacks, tightness=args.tightness, rng=args.seed,
+            name=f"{args.items}-{args.knapsacks}-{args.seed}",
+        )
+        write_mkp(instance, args.path)
+        print(f"wrote {args.path}")
+        return 0
+
+    return _solve(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

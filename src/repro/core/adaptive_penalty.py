@@ -1,0 +1,190 @@
+"""Adaptive-penalty SAIM — the paper's suggested feasibility booster.
+
+Section IV-B observes that MKP feasibility (~5% of samples) is far below
+QKP's and suggests: "To increase feasibility, one could increase the
+initial penalties set by P".  This module implements that future-work item
+as an outer loop around SAIM: monitor the feasible-sample rate over a
+window; when it falls below a floor, multiply the quadratic penalty ``P``
+and rebuild the machine (keeping the learned multipliers, which remain
+valid — ``lambda`` and ``P`` shape the landscape independently).
+
+A second suggestion from [16] — artificially reducing the capacities so
+samples are biased into the feasible region — lives in
+:func:`repro.core.adaptive_penalty.reduced_capacity_problem`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.encoding import encode_with_slacks, normalize_problem
+from repro.core.lagrangian import LagrangianIsing
+from repro.core.penalty import density_heuristic_penalty
+from repro.core.problem import ConstrainedProblem, LinearConstraints
+from repro.core.results import FeasibleRecord, SolveTrace
+from repro.core.saim import _ETA_DECAYS, SaimConfig, SaimResult
+from repro.core.schedule import linear_beta_schedule
+from repro.ising.pbit import PBitMachine
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class AdaptivePenaltyConfig:
+    """Outer-loop settings for the adaptive-penalty variant.
+
+    ``window`` iterations between feasibility checks; below
+    ``feasibility_floor`` the penalty multiplies by ``growth`` (up to
+    ``max_escalations`` times).
+    """
+
+    base: SaimConfig
+    window: int = 25
+    feasibility_floor: float = 0.05
+    growth: float = 2.0
+    max_escalations: int = 4
+
+    def __post_init__(self):
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if not 0.0 <= self.feasibility_floor <= 1.0:
+            raise ValueError(
+                f"feasibility_floor must be in [0, 1], got {self.feasibility_floor}"
+            )
+        if self.growth <= 1.0:
+            raise ValueError(f"growth must exceed 1, got {self.growth}")
+        if self.max_escalations < 0:
+            raise ValueError(
+                f"max_escalations must be >= 0, got {self.max_escalations}"
+            )
+
+
+@dataclass
+class AdaptivePenaltyResult:
+    """SAIM result plus the escalation history ``[(iteration, new_P), ...]``."""
+
+    result: SaimResult
+    escalations: list
+
+
+class AdaptivePenaltySaim:
+    """Algorithm 1 with on-line penalty escalation (see module docstring)."""
+
+    def __init__(self, config: AdaptivePenaltyConfig):
+        self.config = config
+
+    def solve(self, problem: ConstrainedProblem, rng=None) -> AdaptivePenaltyResult:
+        """Run the adaptive loop; multipliers survive penalty escalations."""
+        outer = self.config
+        config = outer.base
+        rng = ensure_rng(rng)
+        encoded = encode_with_slacks(problem)
+        normalized, _ = normalize_problem(encoded.problem)
+        if config.penalty is not None:
+            penalty = float(config.penalty)
+        else:
+            penalty = density_heuristic_penalty(normalized, alpha=config.alpha)
+
+        lagrangian = LagrangianIsing(normalized, penalty)
+        machine = PBitMachine(lagrangian.base_ising, rng=rng)
+        schedule = linear_beta_schedule(config.beta_max, config.mcs_per_run)
+
+        source = encoded.source
+        lambdas = np.zeros(lagrangian.num_multipliers)
+        k_total = config.num_iterations
+
+        sample_costs = np.empty(k_total)
+        feasible_mask = np.zeros(k_total, dtype=bool)
+        lambda_history = np.empty((k_total, lagrangian.num_multipliers))
+        energies = np.empty(k_total)
+
+        best_x = None
+        best_cost = np.inf
+        feasible_records = []
+        escalations = []
+        escalations_left = outer.max_escalations
+        window_feasible = 0
+
+        for k in range(k_total):
+            lambda_history[k] = lambdas
+            machine.set_fields(
+                lagrangian.fields_for(lambdas), lagrangian.offset_for(lambdas)
+            )
+            run = machine.anneal(schedule)
+            sample = run.best_sample if config.read_best else run.last_sample
+            x_ext = ((np.asarray(sample) + 1) / 2).astype(np.int8)
+            residual = lagrangian.residuals(x_ext)
+            x = encoded.restrict(x_ext)
+            cost = source.objective(x)
+            sample_costs[k] = cost
+            energies[k] = run.last_energy
+            if source.is_feasible(x):
+                feasible_mask[k] = True
+                window_feasible += 1
+                feasible_records.append(FeasibleRecord(iteration=k, x=x, cost=cost))
+                if cost < best_cost:
+                    best_cost = cost
+                    best_x = x
+
+            direction = residual
+            if config.normalize_step:
+                norm = float(np.linalg.norm(residual))
+                if norm > 1e-12:
+                    direction = residual / norm
+            lambdas = lambdas + config.eta * _ETA_DECAYS[config.eta_decay](k) * direction
+
+            # Outer loop: escalate P when the window stays infeasible.
+            if (k + 1) % outer.window == 0:
+                ratio = window_feasible / outer.window
+                window_feasible = 0
+                if ratio < outer.feasibility_floor and escalations_left > 0:
+                    escalations_left -= 1
+                    penalty *= outer.growth
+                    lagrangian = LagrangianIsing(normalized, penalty)
+                    machine = PBitMachine(lagrangian.base_ising, rng=rng)
+                    escalations.append((k + 1, penalty))
+
+        trace = SolveTrace(
+            sample_costs=sample_costs,
+            feasible=feasible_mask,
+            lambdas=lambda_history,
+            energies=energies,
+        )
+        result = SaimResult(
+            best_x=best_x,
+            best_cost=float(best_cost),
+            feasible_records=feasible_records,
+            penalty=penalty,
+            final_lambdas=lambdas,
+            num_iterations=k_total,
+            mcs_per_run=config.mcs_per_run,
+            trace=trace,
+        )
+        return AdaptivePenaltyResult(result=result, escalations=escalations)
+
+
+def reduced_capacity_problem(
+    problem: ConstrainedProblem, shrink: float
+) -> ConstrainedProblem:
+    """The capacity-reduction trick of [16]: solve with ``b' = shrink * b``.
+
+    Shrinking the inequality bounds biases samples into the interior of the
+    original feasible region (more samples satisfy the *true* constraints);
+    solutions remain feasible for the original problem but the optimum may
+    be cut off, so this is a feasibility/quality trade.  Feasibility and
+    cost must always be evaluated against the *original* problem.
+    """
+    if not 0.0 < shrink <= 1.0:
+        raise ValueError(f"shrink must be in (0, 1], got {shrink}")
+    ineq = problem.inequalities
+    return ConstrainedProblem(
+        quadratic=problem.quadratic,
+        linear=problem.linear,
+        offset=problem.offset,
+        equalities=problem.equalities,
+        inequalities=LinearConstraints(
+            ineq.coefficients.copy(), ineq.bounds * shrink
+        ),
+        name=problem.name,
+    )

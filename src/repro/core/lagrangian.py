@@ -1,0 +1,102 @@
+"""Lagrange relaxation on top of the penalty QUBO (paper Section II-B).
+
+The relaxed energy (eq. 5) is
+
+    L(x; lambda) = E(x) + lambda^T g(x)
+                 = f(x) + P ||A x - b||^2 + lambda^T (A x - b)
+
+Because ``g`` is linear, changing ``lambda`` only moves the *linear* Ising
+fields and the constant offset — the coupling matrix ``J`` never changes.
+:class:`LagrangianIsing` exploits this: it converts the penalty QUBO to Ising
+form once and serves O(M N) field updates per multiplier step, which is what
+makes Algorithm 1's per-iteration reprogramming cheap ("the Ising
+coefficients J and h are consequently updated at each iteration").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.penalty import build_penalty_qubo
+from repro.core.problem import ConstrainedProblem
+from repro.ising.model import IsingModel
+
+
+class LagrangianIsing:
+    """Ising view of ``L(x; lambda)`` with cheap multiplier updates.
+
+    Parameters
+    ----------
+    problem:
+        Equality-form (already encoded and normalized) problem.
+    penalty:
+        The fixed quadratic penalty ``P`` (typically ``P < P_C`` — the whole
+        point of SAIM is that this no longer needs tuning).
+    """
+
+    def __init__(self, problem: ConstrainedProblem, penalty: float):
+        if problem.inequalities.num_constraints:
+            raise ValueError("LagrangianIsing expects an equality-form problem")
+        self._problem = problem
+        self._penalty = float(penalty)
+        self._qubo = build_penalty_qubo(problem, penalty)
+        base = self._qubo.to_ising()
+        self._base_fields = base.fields
+        self._base_offset = base.offset
+        self._coupling = base.coupling
+        # lambda^T (A x - b) maps to QUBO linear term A^T lambda and offset
+        # -lambda^T b; through x = (1 + s)/2 that is fields -A^T lambda / 2
+        # and offset sum(A^T lambda)/2 - lambda^T b.
+        self._a = problem.equalities.coefficients
+        self._b = problem.equalities.bounds
+
+    @property
+    def num_multipliers(self) -> int:
+        """Number of Lagrange multipliers (one per equality row)."""
+        return self._b.size
+
+    @property
+    def penalty(self) -> float:
+        """The fixed quadratic penalty ``P``."""
+        return self._penalty
+
+    @property
+    def base_ising(self) -> IsingModel:
+        """Ising model of ``E(x)`` alone (``lambda = 0``)."""
+        return IsingModel(self._coupling, self._base_fields.copy(), self._base_offset)
+
+    def fields_for(self, lambdas) -> np.ndarray:
+        """Linear Ising fields ``h(lambda)``."""
+        lambdas = self._check_lambdas(lambdas)
+        return self._base_fields - (self._a.T @ lambdas) / 2.0
+
+    def offset_for(self, lambdas) -> float:
+        """Constant Ising offset for ``lambda``."""
+        lambdas = self._check_lambdas(lambdas)
+        shift = self._a.T @ lambdas
+        return self._base_offset + float(shift.sum()) / 2.0 - float(lambdas @ self._b)
+
+    def ising_for(self, lambdas) -> IsingModel:
+        """Full Ising model of ``L(.; lambda)`` (couplings shared)."""
+        return IsingModel(
+            self._coupling, self.fields_for(lambdas), self.offset_for(lambdas)
+        )
+
+    def residuals(self, x) -> np.ndarray:
+        """Constraint residuals ``g(x) = A x - b`` — the subgradient of the
+        dual function at the minimizer (paper eq. 7)."""
+        return self._problem.equalities.residuals(x)
+
+    def energy(self, x, lambdas) -> float:
+        """``L(x; lambda)`` evaluated directly in binary variables."""
+        lambdas = self._check_lambdas(lambdas)
+        penalized = self._qubo.energy(x)
+        return penalized + float(lambdas @ self.residuals(x))
+
+    def _check_lambdas(self, lambdas) -> np.ndarray:
+        lambdas = np.asarray(lambdas, dtype=float)
+        if lambdas.shape != (self.num_multipliers,):
+            raise ValueError(
+                f"expected {self.num_multipliers} multipliers, got shape {lambdas.shape}"
+            )
+        return lambdas

@@ -1,0 +1,54 @@
+"""Result containers shared by SAIM and the baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FeasibleRecord:
+    """One feasible sample harvested during a solve.
+
+    ``iteration`` is the SAIM iteration (annealing run) that produced it;
+    ``cost`` is the *original*, un-normalized objective value.
+    """
+
+    iteration: int
+    x: np.ndarray
+    cost: float
+
+
+@dataclass
+class SolveTrace:
+    """Per-iteration history of a SAIM solve (Figs. 3 and 5 of the paper).
+
+    Attributes
+    ----------
+    sample_costs:
+        Original-objective cost of each iteration's read-out sample, feasible
+        or not (the red/green scatter of Fig. 3b).
+    feasible:
+        Boolean mask: was the read-out sample feasible?
+    lambdas:
+        Multiplier values *entering* each iteration, shape ``(K, M)``
+        (the staircase of Fig. 3c / Fig. 5b).
+    energies:
+        Final Lagrangian energy of each annealing run.
+    """
+
+    sample_costs: np.ndarray
+    feasible: np.ndarray
+    lambdas: np.ndarray
+    energies: np.ndarray
+
+    @property
+    def num_iterations(self) -> int:
+        """Number of SAIM iterations recorded."""
+        return self.sample_costs.size
+
+    def first_feasible_iteration(self) -> int | None:
+        """Index of the first feasible sample, or ``None``."""
+        hits = np.nonzero(self.feasible)[0]
+        return int(hits[0]) if hits.size else None

@@ -1,0 +1,43 @@
+"""Inverse-temperature (beta) schedules for annealing runs.
+
+The paper anneals its p-bit machine "with a linear beta-schedule swept from 0
+to beta_max" (Section III-B); the other shapes are provided for the schedule
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+def linear_beta_schedule(beta_max: float, num_sweeps: int, beta_min: float = 0.0) -> np.ndarray:
+    """Linearly spaced betas from ``beta_min`` to ``beta_max`` (paper default)."""
+    check_positive(beta_max, "beta_max")
+    if num_sweeps <= 0:
+        raise ValueError(f"num_sweeps must be positive, got {num_sweeps}")
+    if beta_min < 0 or beta_min > beta_max:
+        raise ValueError(f"beta_min must be in [0, beta_max], got {beta_min}")
+    return np.linspace(beta_min, beta_max, num_sweeps)
+
+
+def geometric_beta_schedule(
+    beta_max: float, num_sweeps: int, beta_min: float = 0.01
+) -> np.ndarray:
+    """Geometrically spaced betas (a common SA alternative; ablation only)."""
+    check_positive(beta_max, "beta_max")
+    check_positive(beta_min, "beta_min")
+    if num_sweeps <= 0:
+        raise ValueError(f"num_sweeps must be positive, got {num_sweeps}")
+    if beta_min > beta_max:
+        raise ValueError("beta_min must be <= beta_max")
+    return np.geomspace(beta_min, beta_max, num_sweeps)
+
+
+def constant_beta_schedule(beta: float, num_sweeps: int) -> np.ndarray:
+    """Fixed-temperature sampling (used for Boltzmann-distribution tests)."""
+    check_positive(beta, "beta")
+    if num_sweeps <= 0:
+        raise ValueError(f"num_sweeps must be positive, got {num_sweeps}")
+    return np.full(num_sweeps, float(beta))

@@ -1,0 +1,82 @@
+"""Ising-machine substrate: models, energies, and samplers.
+
+This subpackage is the "hardware" layer of the reproduction.  It provides the
+Ising/QUBO model containers, exact energy evaluation, and the three samplers
+used in the paper's evaluation:
+
+- :class:`~repro.ising.pbit.PBitMachine` — the probabilistic-bit Ising
+  machine of Section III-B (sequential Gibbs sweeps with annealing); this is
+  the solver SAIM drives.
+- :func:`~repro.ising.sa.simulated_annealing` — Metropolis simulated
+  annealing, the engine behind the penalty-method baselines.
+- :func:`~repro.ising.parallel_tempering.parallel_tempering` — a
+  replica-exchange sampler standing in for Fujitsu's Digital Annealer
+  parallel-tempering mode (PT-DA).
+"""
+
+from repro.ising.model import IsingModel, QuboModel
+from repro.ising.energy import (
+    ising_energy,
+    ising_energies,
+    qubo_energy,
+    qubo_energies,
+    flip_delta,
+    input_fields,
+)
+from repro.ising.pbit import PBitMachine, AnnealResult
+from repro.ising.sa import simulated_annealing, SAResult, MetropolisMachine
+from repro.ising.parallel_tempering import parallel_tempering, PTResult
+from repro.ising.exhaustive import brute_force_ground_state, enumerate_energies
+from repro.ising.quantization import (
+    QuantizationSpec,
+    QuantizedPBitMachine,
+    quantize_ising,
+    quantization_error,
+)
+from repro.ising.sparse import (
+    SparseIsingModel,
+    ChromaticPBitMachine,
+    greedy_coloring,
+    random_sparse_ising,
+)
+from repro.ising.pt_machine import PTMachine
+from repro.ising.qubo_io import write_qubo, read_qubo
+from repro.ising.higher_order import (
+    PolyIsingModel,
+    HigherOrderPBitMachine,
+    enumerate_poly_energies,
+)
+
+__all__ = [
+    "QuantizationSpec",
+    "QuantizedPBitMachine",
+    "quantize_ising",
+    "quantization_error",
+    "SparseIsingModel",
+    "ChromaticPBitMachine",
+    "greedy_coloring",
+    "random_sparse_ising",
+    "PTMachine",
+    "write_qubo",
+    "read_qubo",
+    "PolyIsingModel",
+    "HigherOrderPBitMachine",
+    "enumerate_poly_energies",
+    "IsingModel",
+    "QuboModel",
+    "ising_energy",
+    "ising_energies",
+    "qubo_energy",
+    "qubo_energies",
+    "flip_delta",
+    "input_fields",
+    "PBitMachine",
+    "AnnealResult",
+    "simulated_annealing",
+    "SAResult",
+    "MetropolisMachine",
+    "parallel_tempering",
+    "PTResult",
+    "brute_force_ground_state",
+    "enumerate_energies",
+]

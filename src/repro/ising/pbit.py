@@ -1,0 +1,262 @@
+"""Software emulation of a probabilistic-bit (p-bit) Ising machine.
+
+Implements Section III-B of the paper.  Each p-bit ``m_i = ±1`` receives the
+input (eq. 9)::
+
+    I_i = sum_j J_ij m_j + h_i
+
+and updates to (eq. 10)::
+
+    m_i = sign( tanh(beta * I_i) + U(-1, 1) )
+
+Sequentially sweeping the p-bits is Gibbs sampling of the Boltzmann
+distribution ``P(m) ~ exp(-beta * H(m))`` (eq. 11).  To find low-energy
+states the machine is annealed with a beta schedule (linear ``0 -> beta_max``
+in the paper), and — exactly as in the paper — the *last* sample of a run is
+what the surrounding algorithm reads out.
+
+Two execution paths are provided:
+
+- :meth:`PBitMachine.anneal` — one run, sequential Gibbs with incremental
+  input-field updates (a flip costs one row-AXPY, a non-flip costs O(1)).
+  This is the bit-exact reference used inside SAIM.
+- :meth:`PBitMachine.anneal_batch` — many independent runs advanced in
+  lock-step, vectorized across runs.  Statistically identical to repeated
+  :meth:`anneal` calls and much faster in numpy; used by the penalty-method
+  baselines that need thousands of independent runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ising.energy import ising_energies, ising_energy
+from repro.ising.model import IsingModel
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class AnnealResult:
+    """Outcome of one annealing run.
+
+    Attributes
+    ----------
+    last_sample:
+        Spin state after the final sweep — what the paper's Algorithm 1 reads.
+    last_energy:
+        Hamiltonian value of ``last_sample``.
+    best_sample / best_energy:
+        Lowest-energy state seen during the run (tracked for analysis; SAIM
+        itself only consumes the last sample).
+    num_sweeps:
+        Monte-Carlo sweeps performed.
+    energy_trace:
+        Per-sweep energy if requested, else ``None``.
+    """
+
+    last_sample: np.ndarray
+    last_energy: float
+    best_sample: np.ndarray
+    best_energy: float
+    num_sweeps: int
+    energy_trace: np.ndarray | None = None
+
+
+class PBitMachine:
+    """A p-bit Ising machine bound to one :class:`IsingModel`.
+
+    Parameters
+    ----------
+    model:
+        The Hamiltonian to sample from.  The coupling matrix is kept by
+        reference; use :meth:`set_fields` to retarget the linear terms
+        cheaply (this is how SAIM applies Lagrange-multiplier updates
+        without rebuilding the machine).
+    rng:
+        Seed or generator for the p-bit noise.
+    """
+
+    def __init__(self, model: IsingModel, rng=None):
+        self._coupling = np.ascontiguousarray(model.coupling)
+        self._fields = np.asarray(model.fields, dtype=float).copy()
+        self._offset = model.offset
+        self._rng = ensure_rng(rng)
+
+    @property
+    def num_spins(self) -> int:
+        """Number of p-bits."""
+        return self._fields.size
+
+    @property
+    def model(self) -> IsingModel:
+        """Current Hamiltonian (couplings shared, fields copied)."""
+        return IsingModel(self._coupling, self._fields.copy(), self._offset)
+
+    def set_fields(self, fields, offset: float | None = None) -> None:
+        """Reprogram the linear fields ``h`` (and optionally the offset)."""
+        fields = np.asarray(fields, dtype=float)
+        if fields.shape != self._fields.shape:
+            raise ValueError(
+                f"fields must have shape {self._fields.shape}, got {fields.shape}"
+            )
+        self._fields = fields.copy()
+        if offset is not None:
+            self._offset = float(offset)
+
+    def random_state(self) -> np.ndarray:
+        """Uniform random ±1 spin vector."""
+        return self._rng.choice(np.array([-1.0, 1.0]), size=self.num_spins)
+
+    def anneal(
+        self,
+        beta_schedule,
+        initial=None,
+        record_energy: bool = False,
+    ) -> AnnealResult:
+        """Run one annealed Gibbs-sampling pass (one "SA run" of the paper).
+
+        Parameters
+        ----------
+        beta_schedule:
+            Inverse temperature per sweep; its length is the number of
+            Monte-Carlo sweeps (MCS).
+        initial:
+            Starting spins; random if omitted.
+        record_energy:
+            Store the energy after every sweep in ``energy_trace``.
+        """
+        betas = np.asarray(beta_schedule, dtype=float)
+        if betas.ndim != 1 or betas.size == 0:
+            raise ValueError("beta_schedule must be a non-empty 1-D sequence")
+        n = self.num_spins
+        coupling = self._coupling
+        spins = self.random_state() if initial is None else np.asarray(initial, dtype=float).copy()
+        if spins.shape != (n,):
+            raise ValueError(f"initial must have shape ({n},), got {spins.shape}")
+
+        inputs = coupling @ spins + self._fields
+        energy = ising_energy(self.model, spins)
+        best_energy = energy
+        best_sample = spins.copy()
+        trace = np.empty(betas.size) if record_energy else None
+
+        rng = self._rng
+        tanh = math.tanh
+        for sweep, beta in enumerate(betas):
+            noise = rng.uniform(-1.0, 1.0, size=n)
+            for i in range(n):
+                activation = tanh(beta * inputs[i]) + noise[i]
+                new_spin = 1.0 if activation >= 0.0 else -1.0
+                old_spin = spins[i]
+                if new_spin != old_spin:
+                    energy += 2.0 * old_spin * inputs[i]
+                    spins[i] = new_spin
+                    inputs += coupling[i] * (new_spin - old_spin)
+            if energy < best_energy:
+                best_energy = energy
+                best_sample = spins.copy()
+            if record_energy:
+                trace[sweep] = energy
+        return AnnealResult(
+            last_sample=spins,
+            last_energy=energy,
+            best_sample=best_sample,
+            best_energy=best_energy,
+            num_sweeps=betas.size,
+            energy_trace=trace,
+        )
+
+    def anneal_batch(self, beta_schedule, num_runs: int, initial=None) -> list[AnnealResult]:
+        """Run ``num_runs`` independent annealing passes in lock-step.
+
+        Vectorizes the per-spin Gibbs update across runs: at each (sweep,
+        spin) step every run updates the same spin index from its own state
+        and its own noise, which is exactly ``num_runs`` independent
+        sequential-Gibbs chains.
+        """
+        betas = np.asarray(beta_schedule, dtype=float)
+        if betas.ndim != 1 or betas.size == 0:
+            raise ValueError("beta_schedule must be a non-empty 1-D sequence")
+        if num_runs <= 0:
+            raise ValueError(f"num_runs must be positive, got {num_runs}")
+        n = self.num_spins
+        coupling = self._coupling
+        rng = self._rng
+
+        if initial is None:
+            states = rng.choice(np.array([-1.0, 1.0]), size=(num_runs, n))
+        else:
+            states = np.array(initial, dtype=float)
+            if states.shape != (num_runs, n):
+                raise ValueError(
+                    f"initial must have shape ({num_runs}, {n}), got {states.shape}"
+                )
+
+        inputs = states @ coupling + self._fields
+        model = self.model
+        energies = ising_energies(model, states)
+        best_energies = energies.copy()
+        best_states = states.copy()
+
+        for beta in betas:
+            noise = rng.uniform(-1.0, 1.0, size=(num_runs, n))
+            for i in range(n):
+                activation = np.tanh(beta * inputs[:, i]) + noise[:, i]
+                new_spins = np.where(activation >= 0.0, 1.0, -1.0)
+                delta = new_spins - states[:, i]
+                flipped = np.nonzero(delta)[0]
+                if flipped.size == 0:
+                    continue
+                energies[flipped] += 2.0 * states[flipped, i] * inputs[flipped, i]
+                states[flipped, i] = new_spins[flipped]
+                inputs[flipped] += delta[flipped, None] * coupling[i]
+            improved = energies < best_energies
+            if np.any(improved):
+                best_energies[improved] = energies[improved]
+                best_states[improved] = states[improved]
+
+        return [
+            AnnealResult(
+                last_sample=states[r].copy(),
+                last_energy=float(energies[r]),
+                best_sample=best_states[r].copy(),
+                best_energy=float(best_energies[r]),
+                num_sweeps=betas.size,
+            )
+            for r in range(num_runs)
+        ]
+
+    def sample_boltzmann(self, beta: float, num_sweeps: int, burn_in: int = 0,
+                         initial=None) -> np.ndarray:
+        """Collect one sample per sweep at fixed ``beta`` (for tests).
+
+        Returns an array of shape ``(num_sweeps, n)``.  With enough sweeps
+        the empirical distribution converges to eq. (11); the test suite uses
+        this on tiny models to validate the sampler against the exact
+        Boltzmann weights.
+        """
+        if num_sweeps <= 0:
+            raise ValueError(f"num_sweeps must be positive, got {num_sweeps}")
+        schedule = np.full(burn_in + num_sweeps, float(beta))
+        n = self.num_spins
+        coupling = self._coupling
+        spins = self.random_state() if initial is None else np.asarray(initial, dtype=float).copy()
+        inputs = coupling @ spins + self._fields
+        samples = np.empty((num_sweeps, n))
+        rng = self._rng
+        tanh = math.tanh
+        for sweep, beta_t in enumerate(schedule):
+            noise = rng.uniform(-1.0, 1.0, size=n)
+            for i in range(n):
+                activation = tanh(beta_t * inputs[i]) + noise[i]
+                new_spin = 1.0 if activation >= 0.0 else -1.0
+                old_spin = spins[i]
+                if new_spin != old_spin:
+                    spins[i] = new_spin
+                    inputs += coupling[i] * (new_spin - old_spin)
+            if sweep >= burn_in:
+                samples[sweep - burn_in] = spins
+        return samples

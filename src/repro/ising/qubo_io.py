@@ -1,0 +1,94 @@
+"""QUBO file I/O in the de-facto standard qbsolv format.
+
+Lets the penalized/Lagrangian QUBOs this library builds be shipped to other
+Ising-machine toolchains (D-Wave's qbsolv, digital annealer SDKs, ...) and
+external QUBOs be pulled in.  Format::
+
+    c <comment lines>
+    p qubo 0 <maxNodes> <nDiagonals> <nElements>
+    <i> <i> <diagonal value>        (nDiagonals lines)
+    <i> <j> <coupler value>         (nElements lines, i < j)
+
+The qbsolv convention states problems as ``minimize x^T Q x`` with the
+diagonal carrying the linear terms; conversion to/from
+:class:`repro.ising.model.QuboModel` (zero diagonal + explicit linear term)
+is exact.  The constant offset is preserved in a comment so round trips are
+lossless.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.ising.model import QuboModel
+
+_OFFSET_TAG = "c offset "
+
+
+def write_qubo(model: QuboModel, path, comment: str = "") -> None:
+    """Write ``model`` to ``path`` in qbsolv format."""
+    n = model.num_variables
+    # qbsolv counts each coupler once (upper triangle); our symmetric Q
+    # stores half the coefficient in each triangle, so the file coefficient
+    # is Q_ij + Q_ji = 2 * Q_ij.
+    upper = np.triu(model.quadratic, k=1) * 2.0
+    couple_rows, couple_cols = np.nonzero(upper)
+    diag_indices = np.nonzero(model.linear)[0]
+
+    lines = []
+    if comment:
+        for text in comment.splitlines():
+            lines.append(f"c {text}")
+    lines.append(f"{_OFFSET_TAG}{model.offset!r}")
+    lines.append(f"p qubo 0 {n} {diag_indices.size} {couple_rows.size}")
+    for i in diag_indices:
+        lines.append(f"{i} {i} {model.linear[i]:.17g}")
+    for i, j in zip(couple_rows, couple_cols):
+        lines.append(f"{i} {j} {upper[i, j]:.17g}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_qubo(path) -> QuboModel:
+    """Read a qbsolv-format file written by :func:`write_qubo` (or others).
+
+    Files without the offset comment load with ``offset = 0``.  Duplicate
+    entries accumulate, matching qbsolv's behaviour.
+    """
+    offset = 0.0
+    n = None
+    linear = None
+    quadratic = None
+    for raw_line in Path(path).read_text().splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith(_OFFSET_TAG):
+            offset = float(line[len(_OFFSET_TAG):])
+            continue
+        if line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) < 6 or parts[1] != "qubo":
+                raise ValueError(f"bad problem line in {path}: {line!r}")
+            n = int(parts[3])
+            linear = np.zeros(n)
+            quadratic = np.zeros((n, n))
+            continue
+        if n is None:
+            raise ValueError(f"data before problem line in {path}")
+        i_text, j_text, value_text = line.split()
+        i, j, value = int(i_text), int(j_text), float(value_text)
+        if not (0 <= i < n and 0 <= j < n):
+            raise ValueError(f"index out of range in {path}: {line!r}")
+        if i == j:
+            linear[i] += value
+        else:
+            a, b = min(i, j), max(i, j)
+            quadratic[a, b] += value / 2.0
+            quadratic[b, a] += value / 2.0
+    if n is None:
+        raise ValueError(f"no problem line found in {path}")
+    return QuboModel(quadratic, linear, offset)

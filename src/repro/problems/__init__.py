@@ -1,0 +1,57 @@
+"""Benchmark problem families used in the paper's evaluation.
+
+- :mod:`~repro.problems.qkp` — quadratic knapsack (Section IV-A): an Ising
+  objective with one linear capacity constraint.
+- :mod:`~repro.problems.mkp` — multidimensional knapsack (Section IV-B): a
+  linear objective with M capacity constraints.
+- :mod:`~repro.problems.knapsack` — plain 0/1 knapsack with an exact DP
+  solver (test oracle).
+- :mod:`~repro.problems.maxcut` — unconstrained max-cut (substrate check).
+- :mod:`~repro.problems.generators` — seeded random instances following the
+  published generation recipes of the paper's benchmark sets.
+"""
+
+from repro.problems.qkp import QkpInstance
+from repro.problems.mkp import MkpInstance
+from repro.problems.knapsack import KnapsackInstance, knapsack_dp
+from repro.problems.maxcut import MaxCutInstance, random_maxcut
+from repro.problems.generators import (
+    generate_qkp,
+    generate_mkp,
+    paper_qkp_instance,
+    paper_mkp_instance,
+)
+from repro.problems.gap import GapInstance, generate_gap, solve_gap_exact
+from repro.problems.mis import MisInstance, random_mis
+from repro.problems.io import (
+    write_qkp,
+    read_qkp,
+    write_mkp,
+    read_mkp,
+    write_gap,
+    read_gap,
+)
+
+__all__ = [
+    "GapInstance",
+    "generate_gap",
+    "solve_gap_exact",
+    "MisInstance",
+    "random_mis",
+    "QkpInstance",
+    "MkpInstance",
+    "KnapsackInstance",
+    "knapsack_dp",
+    "MaxCutInstance",
+    "random_maxcut",
+    "generate_qkp",
+    "generate_mkp",
+    "paper_qkp_instance",
+    "paper_mkp_instance",
+    "write_qkp",
+    "read_qkp",
+    "write_mkp",
+    "read_mkp",
+    "write_gap",
+    "read_gap",
+]

@@ -1,0 +1,136 @@
+"""Plain-text instance serialization.
+
+QKP files follow the layout of the standard Billionnet–Soutif distribution
+files (name, N, linear values, upper-triangle pairwise values, a 0/1
+constraint-type flag, capacity, weights); MKP files use the compact layout
+of the OR-Library ``mknap`` files (N M optimum, values, M weight rows,
+capacities).  Both round-trip exactly through their reader/writer pairs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.problems.gap import GapInstance
+from repro.problems.mkp import MkpInstance
+from repro.problems.qkp import QkpInstance
+
+
+def _format_row(row) -> str:
+    return " ".join(f"{value:g}" for value in row)
+
+
+def write_qkp(instance: QkpInstance, path) -> None:
+    """Write ``instance`` in the Billionnet–Soutif text layout."""
+    n = instance.num_items
+    lines = [instance.name or f"qkp-{n}", str(n)]
+    lines.append(_format_row(instance.values))
+    for i in range(n - 1):
+        lines.append(_format_row(instance.pair_values[i, i + 1 :]))
+    lines.append("")  # blank separator, as in the reference files
+    lines.append("0")  # 0 = inequality (knapsack) constraint
+    lines.append(f"{instance.capacity:g}")
+    lines.append(_format_row(instance.weights))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_qkp(path) -> QkpInstance:
+    """Read an instance written by :func:`write_qkp`."""
+    raw = [line.strip() for line in Path(path).read_text().splitlines()]
+    name = raw[0]
+    n = int(raw[1])
+    values = np.array([float(v) for v in raw[2].split()])
+    pair_values = np.zeros((n, n))
+    for i in range(n - 1):
+        row = np.array([float(v) for v in raw[3 + i].split()])
+        if row.size != n - 1 - i:
+            raise ValueError(f"row {i} of {path} has {row.size} entries, expected {n - 1 - i}")
+        pair_values[i, i + 1 :] = row
+    pair_values = pair_values + pair_values.T
+    cursor = 3 + (n - 1)
+    while raw[cursor] == "":
+        cursor += 1
+    constraint_type = int(raw[cursor])
+    if constraint_type != 0:
+        raise ValueError(f"unsupported constraint type {constraint_type} in {path}")
+    capacity = float(raw[cursor + 1])
+    weights = np.array([float(v) for v in raw[cursor + 2].split()])
+    return QkpInstance(values, pair_values, weights, capacity, name=name)
+
+
+def write_mkp(instance: MkpInstance, path, optimum: float = 0.0) -> None:
+    """Write ``instance`` in the OR-Library ``mknap`` layout."""
+    n = instance.num_items
+    m = instance.num_constraints
+    lines = [f"{n} {m} {optimum:g}"]
+    lines.append(_format_row(instance.values))
+    for row in instance.weights:
+        lines.append(_format_row(row))
+    lines.append(_format_row(instance.capacities))
+    if instance.name:
+        lines.append(f"# {instance.name}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def write_gap(instance: GapInstance, path) -> None:
+    """Write a GAP instance in the OR-Library ``gap`` layout.
+
+    First line ``agents jobs``; then agent-major cost rows, agent-major
+    load rows, and the capacities.  (OR-Library stores costs/loads per
+    agent; our containers are job-major, so rows are transposed on the
+    way out and back.)
+    """
+    agents = instance.num_agents
+    jobs = instance.num_jobs
+    lines = [f"{agents} {jobs}"]
+    for agent in range(agents):
+        lines.append(_format_row(instance.costs[:, agent]))
+    for agent in range(agents):
+        lines.append(_format_row(instance.loads[:, agent]))
+    lines.append(_format_row(instance.capacities))
+    if instance.name:
+        lines.append(f"# {instance.name}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_gap(path) -> GapInstance:
+    """Read an instance written by :func:`write_gap`."""
+    raw = [line.strip() for line in Path(path).read_text().splitlines() if line.strip()]
+    agents, jobs = (int(v) for v in raw[0].split())
+    costs = np.array(
+        [[float(v) for v in raw[1 + a].split()] for a in range(agents)]
+    ).T
+    loads = np.array(
+        [[float(v) for v in raw[1 + agents + a].split()] for a in range(agents)]
+    ).T
+    capacities = np.array([float(v) for v in raw[1 + 2 * agents].split()])
+    if costs.shape != (jobs, agents):
+        raise ValueError(
+            f"expected {jobs}x{agents} costs in {path}, got {costs.shape}"
+        )
+    name = ""
+    if len(raw) > 2 + 2 * agents and raw[2 + 2 * agents].startswith("#"):
+        name = raw[2 + 2 * agents].lstrip("# ").strip()
+    return GapInstance(costs, loads, capacities, name=name)
+
+
+def read_mkp(path) -> tuple[MkpInstance, float]:
+    """Read an instance written by :func:`write_mkp`.
+
+    Returns ``(instance, recorded_optimum)`` — the optimum field is 0 when
+    unknown, mirroring the OR-Library convention.
+    """
+    raw = [line.strip() for line in Path(path).read_text().splitlines() if line.strip()]
+    header = raw[0].split()
+    n, m, optimum = int(header[0]), int(header[1]), float(header[2])
+    values = np.array([float(v) for v in raw[1].split()])
+    if values.size != n:
+        raise ValueError(f"expected {n} values, got {values.size}")
+    weights = np.array([[float(v) for v in raw[2 + i].split()] for i in range(m)])
+    capacities = np.array([float(v) for v in raw[2 + m].split()])
+    name = ""
+    if len(raw) > 3 + m and raw[3 + m].startswith("#"):
+        name = raw[3 + m].lstrip("# ").strip()
+    return MkpInstance(values, weights, capacities, name=name), optimum

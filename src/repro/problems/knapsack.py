@@ -1,0 +1,100 @@
+"""Plain 0/1 knapsack with an exact dynamic-programming solver.
+
+The DP is the exactness oracle for the knapsack-family tests: QKP with a
+zero pair-value matrix and MKP with one constraint both reduce to this
+problem, so every heuristic in the library can be validated against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import ConstrainedProblem, LinearConstraints
+from repro.utils.validation import check_binary_vector
+
+
+@dataclass(frozen=True)
+class KnapsackInstance:
+    """One 0/1 knapsack instance with integer weights."""
+
+    values: np.ndarray
+    weights: np.ndarray
+    capacity: int
+    name: str = ""
+
+    def __post_init__(self):
+        values = np.asarray(self.values, dtype=float)
+        weights = np.asarray(self.weights, dtype=np.int64)
+        if values.size != weights.size:
+            raise ValueError("values and weights must have the same length")
+        if np.any(weights <= 0):
+            raise ValueError("weights must be positive integers")
+        if self.capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {self.capacity}")
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "weights", weights)
+        object.__setattr__(self, "capacity", int(self.capacity))
+
+    @property
+    def num_items(self) -> int:
+        """Number of items."""
+        return self.values.size
+
+    def profit(self, x) -> float:
+        """Total value of a selection."""
+        x = check_binary_vector(x, self.num_items).astype(float)
+        return float(self.values @ x)
+
+    def is_feasible(self, x) -> bool:
+        """True iff the selection fits."""
+        x = check_binary_vector(x, self.num_items).astype(float)
+        return float(self.weights @ x) <= self.capacity + 1e-9
+
+    def to_problem(self) -> ConstrainedProblem:
+        """Express as a :class:`ConstrainedProblem` (minimize ``-values^T x``)."""
+        n = self.num_items
+        return ConstrainedProblem(
+            quadratic=np.zeros((n, n)),
+            linear=-self.values,
+            offset=0.0,
+            inequalities=LinearConstraints(
+                self.weights[None, :].astype(float), np.array([float(self.capacity)])
+            ),
+            name=self.name or f"knapsack-{n}",
+        )
+
+
+def knapsack_dp(instance: KnapsackInstance) -> tuple[np.ndarray, float]:
+    """Exact solution by capacity-indexed dynamic programming.
+
+    Returns ``(x, profit)`` with ``x`` an optimal binary selection.  Runs in
+    ``O(N * capacity)`` time and memory — fine for the test-sized instances
+    it is used on.
+    """
+    n = instance.num_items
+    cap = instance.capacity
+    # best[c] = max profit achievable with capacity c; choice bits per item
+    best = np.zeros(cap + 1)
+    taken = np.zeros((n, cap + 1), dtype=bool)
+    for i in range(n):
+        weight = int(instance.weights[i])
+        value = float(instance.values[i])
+        if weight > cap:
+            continue
+        candidate = best[: cap - weight + 1] + value
+        improved = candidate > best[weight:]
+        # update from high capacity down is unnecessary with the shifted copy
+        new_best = best.copy()
+        new_best[weight:][improved] = candidate[improved]
+        taken[i, weight:][improved] = True
+        best = new_best
+    # Backtrack.
+    x = np.zeros(n, dtype=np.int8)
+    c = cap
+    for i in range(n - 1, -1, -1):
+        if taken[i, c]:
+            x[i] = 1
+            c -= int(instance.weights[i])
+    return x, float(best[cap])

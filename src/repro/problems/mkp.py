@@ -1,0 +1,98 @@
+"""Multidimensional knapsack problem (MKP), paper eq. 14.
+
+    min_x  -h^T x           x in {0,1}^N
+    s.t.   A x <= B
+
+``A`` is an M x N matrix of positive weights and ``B`` the M capacities —
+an integer linear program with positive coefficients (the Chu–Beasley
+benchmark family [28]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import ConstrainedProblem, LinearConstraints
+from repro.utils.validation import check_binary_vector
+
+
+@dataclass(frozen=True)
+class MkpInstance:
+    """One MKP instance.
+
+    Attributes
+    ----------
+    values:
+        Item values ``h`` (length N, non-negative).
+    weights:
+        Weight matrix ``A`` (M x N, non-negative).
+    capacities:
+        Capacities ``B`` (length M, non-negative).
+    name:
+        Label such as ``"250-5-8"`` (N - M - index).
+    """
+
+    values: np.ndarray
+    weights: np.ndarray
+    capacities: np.ndarray
+    name: str = ""
+
+    def __post_init__(self):
+        values = np.asarray(self.values, dtype=float)
+        weights = np.atleast_2d(np.asarray(self.weights, dtype=float))
+        capacities = np.atleast_1d(np.asarray(self.capacities, dtype=float))
+        if weights.shape != (capacities.size, values.size):
+            raise ValueError(
+                f"weights must be ({capacities.size}, {values.size}), got {weights.shape}"
+            )
+        if np.any(values < 0):
+            raise ValueError("values must be non-negative")
+        if np.any(weights < 0):
+            raise ValueError("weights must be non-negative")
+        if np.any(capacities < 0):
+            raise ValueError("capacities must be non-negative")
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "weights", weights)
+        object.__setattr__(self, "capacities", capacities)
+
+    @property
+    def num_items(self) -> int:
+        """Number of items N."""
+        return self.values.size
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of knapsacks M."""
+        return self.capacities.size
+
+    def profit(self, x) -> float:
+        """Total value collected ``h^T x``."""
+        x = check_binary_vector(x, self.num_items).astype(float)
+        return float(self.values @ x)
+
+    def cost(self, x) -> float:
+        """Minimization-form objective ``-profit(x)``."""
+        return -self.profit(x)
+
+    def loads(self, x) -> np.ndarray:
+        """Per-knapsack load ``A x``."""
+        x = check_binary_vector(x, self.num_items).astype(float)
+        return self.weights @ x
+
+    def is_feasible(self, x) -> bool:
+        """True iff every knapsack capacity is respected."""
+        return bool(np.all(self.loads(x) <= self.capacities + 1e-9))
+
+    def to_problem(self) -> ConstrainedProblem:
+        """Express the instance as a :class:`ConstrainedProblem`."""
+        n = self.num_items
+        return ConstrainedProblem(
+            quadratic=np.zeros((n, n)),
+            linear=-self.values,
+            offset=0.0,
+            equalities=None,
+            inequalities=LinearConstraints(self.weights, self.capacities),
+            name=self.name or f"mkp-{n}-{self.num_constraints}",
+        )

@@ -1,0 +1,28 @@
+"""Shared helpers: random number handling, binary arithmetic, validation."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.binary import (
+    binary_decomposition_width,
+    binary_weights,
+    decompose_integer,
+    recompose_integer,
+)
+from repro.utils.validation import (
+    check_binary_vector,
+    check_square_symmetric,
+    check_positive,
+    check_non_negative,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "binary_decomposition_width",
+    "binary_weights",
+    "decompose_integer",
+    "recompose_integer",
+    "check_binary_vector",
+    "check_square_symmetric",
+    "check_positive",
+    "check_non_negative",
+]

@@ -1,0 +1,61 @@
+"""Binary decomposition helpers used by the slack-variable encoding.
+
+The paper encodes an integer slack ``0 <= s <= b`` with
+``Q = floor(log2(b) + 1)`` binary variables weighted ``1, 2, ..., 2**(Q-1)``
+(Section IV-A).  These helpers centralise that arithmetic so the encoding and
+its tests agree on edge cases (``b = 0``, ``b`` a power of two, ...).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def binary_decomposition_width(bound: int) -> int:
+    """Number of binary digits used to encode a slack in ``[0, bound]``.
+
+    Follows the paper's ``Q = floor(log2(b) + 1)`` rule.  ``bound = 0`` needs
+    no slack bits at all.
+    """
+    if bound < 0:
+        raise ValueError(f"bound must be non-negative, got {bound}")
+    if bound == 0:
+        return 0
+    return int(math.floor(math.log2(bound))) + 1
+
+
+def binary_weights(bound: int) -> np.ndarray:
+    """Powers of two ``[1, 2, 4, ...]`` for a slack bounded by ``bound``.
+
+    Note the plain power-of-two encoding can represent values up to
+    ``2**Q - 1`` which may exceed ``bound`` (e.g. ``bound = 5`` is covered by
+    weights ``1, 2, 4`` reaching 7).  The paper accepts this slight
+    over-coverage; feasibility is always re-checked on the original
+    inequality, so it cannot create false feasible states.
+    """
+    width = binary_decomposition_width(bound)
+    return 2 ** np.arange(width, dtype=np.int64)
+
+
+def decompose_integer(value: int, width: int) -> np.ndarray:
+    """Binary digits (LSB first) of ``value`` using exactly ``width`` bits."""
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    if value >= 2**width and not (value == 0 and width == 0):
+        if value > 0:
+            raise ValueError(f"value {value} does not fit in {width} bits")
+    digits = (value >> np.arange(width, dtype=np.int64)) & 1
+    return digits.astype(np.int8)
+
+
+def recompose_integer(bits: np.ndarray) -> int:
+    """Inverse of :func:`decompose_integer` (LSB-first digits)."""
+    bits = np.asarray(bits)
+    if bits.size == 0:
+        return 0
+    weights = 2 ** np.arange(bits.size, dtype=np.int64)
+    return int(np.dot(bits.astype(np.int64), weights))

@@ -1,0 +1,52 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts either a seed, an existing
+:class:`numpy.random.Generator`, or ``None`` (fresh entropy).  Funnelling all
+of them through :func:`ensure_rng` keeps experiments reproducible end to end:
+a benchmark seeds one generator and every solver it drives derives its streams
+from it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def ensure_rng(seed=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any seed-like input.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh OS entropy), an ``int`` seed, a ``SeedSequence``, or
+        an existing ``Generator`` (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(f"cannot build a Generator from {type(seed).__name__}")
+
+
+def spawn_rngs(seed, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent generators from one seed.
+
+    Used to give each annealing run / replica / GA island its own stream so
+    results do not depend on scheduling order.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if isinstance(seed, np.random.Generator):
+        # Generator.spawn exists on numpy >= 1.25; fall back to seeds drawn
+        # from the parent stream otherwise.
+        try:
+            return list(seed.spawn(n))
+        except AttributeError:  # pragma: no cover - old numpy only
+            seeds = seed.integers(0, 2**63 - 1, size=n)
+            return [np.random.default_rng(int(s)) for s in seeds]
+    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]

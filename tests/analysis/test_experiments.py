@@ -1,0 +1,112 @@
+"""Tests for the shared experiment harness (repro.analysis.experiments)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    Scale,
+    current_scale,
+    mkp_saim_config,
+    qkp_saim_config,
+    run_saim_on_mkp,
+    run_saim_on_qkp,
+    table2_suite,
+    table3_suite,
+    table4_suite,
+    table5_suite,
+)
+from repro.problems.generators import generate_mkp, generate_qkp
+
+SMOKE = Scale(
+    name="unit",
+    qkp_sizes={100: 16, 200: 16, 300: 16},
+    mkp_sizes={100: 12, 250: 12},
+    instances_per_group=1,
+    iteration_factor=0.01,
+    mcs_factor=0.1,
+)
+
+
+class TestScale:
+    def test_env_default_is_ci(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale().name == "ci"
+
+    def test_env_selects_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert current_scale().name == "smoke"
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert current_scale().name == "full"
+
+    def test_env_rejects_unknown(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "huge")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_full_scale_keeps_paper_sizes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        scale = current_scale()
+        assert scale.qkp_size(300) == 300
+        assert scale.mkp_size(250) == 250
+
+    def test_configs_scale_budgets(self):
+        config = qkp_saim_config(SMOKE)
+        assert config.num_iterations == 20  # 2000 * 0.01
+        assert config.mcs_per_run == 100  # 1000 * 0.1
+        mkp = mkp_saim_config(SMOKE)
+        assert mkp.num_iterations == 50  # 5000 * 0.01
+        # eta is budget-compensated: 0.05 / 0.01.
+        assert mkp.eta == pytest.approx(5.0)
+        assert mkp.beta_max == 50.0  # other hyper-parameters untouched
+
+
+class TestSuites:
+    def test_table2_densities(self):
+        suite = table2_suite(SMOKE)
+        assert len(suite) == 2
+        names = [instance.name for instance in suite]
+        assert any("-25-" in name for name in names)
+        assert any("-50-" in name for name in names)
+
+    def test_table3_has_four_density_groups(self):
+        suite = table3_suite(SMOKE)
+        assert len(suite) == 4
+
+    def test_table4_sizes(self):
+        for instance in table4_suite(SMOKE):
+            assert instance.num_items == 16
+
+    def test_table5_groups(self):
+        suite = table5_suite(SMOKE)
+        constraint_counts = sorted({i.num_constraints for i in suite})
+        assert constraint_counts == [5, 10]
+
+
+class TestRunners:
+    def test_qkp_record_fields(self):
+        instance = generate_qkp(14, 0.5, rng=0, name="unit-qkp")
+        record = run_saim_on_qkp(instance, qkp_saim_config(SMOKE), seed=0)
+        assert record.instance_name == "unit-qkp"
+        assert record.total_mcs == 20 * 100
+        assert 0 <= record.feasible_percent <= 100
+        if not np.isnan(record.best_accuracy):
+            assert record.best_accuracy <= 100.0 + 1e-9
+            assert record.average_accuracy <= record.best_accuracy + 1e-9
+
+    def test_qkp_reference_updated_by_saim(self):
+        # Passing a deliberately weak reference must not yield accuracy > 100.
+        instance = generate_qkp(14, 0.5, rng=1)
+        record = run_saim_on_qkp(
+            instance, qkp_saim_config(SMOKE), seed=1, reference_profit=1.0
+        )
+        if not np.isnan(record.best_accuracy):
+            assert record.best_accuracy <= 100.0 + 1e-9
+
+    def test_mkp_record_fields(self):
+        instance = generate_mkp(12, 3, rng=2, name="unit-mkp")
+        record = run_saim_on_mkp(instance, mkp_saim_config(SMOKE), seed=2)
+        assert record.instance_name == "unit-mkp"
+        assert record.optimum_profit > 0
+        assert record.exact_seconds > 0
+        if not np.isnan(record.best_accuracy):
+            assert record.best_accuracy <= 100.0 + 1e-9

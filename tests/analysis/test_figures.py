@@ -1,0 +1,54 @@
+"""Tests for repro.analysis.figures."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import FigureSeries, ascii_plot, write_csv
+
+
+class TestFigureSeries:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FigureSeries("bad", np.arange(3), np.arange(4))
+
+    def test_accepts_lists(self):
+        series = FigureSeries("ok", [1, 2], [3, 4])
+        assert series.x.dtype == float
+
+
+class TestWriteCsv:
+    def test_roundtrippable_content(self, tmp_path):
+        series = [
+            FigureSeries("cost", [0, 1], [-5.0, -6.0]),
+            FigureSeries("lambda", [0, 1], [0.0, 0.5]),
+        ]
+        path = tmp_path / "fig" / "fig3.csv"
+        write_csv(series, path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "label,x,y"
+        assert len(lines) == 5
+        assert lines[1] == "cost,0,-5"
+
+    def test_creates_parent_dirs(self, tmp_path):
+        write_csv([FigureSeries("s", [0], [1])], tmp_path / "a" / "b" / "c.csv")
+        assert (tmp_path / "a" / "b" / "c.csv").exists()
+
+
+class TestAsciiPlot:
+    def test_contains_label_and_range(self):
+        series = FigureSeries("trace", np.arange(50), np.linspace(-10, -1, 50))
+        art = ascii_plot(series)
+        assert "trace" in art
+        assert "*" in art
+
+    def test_empty_series(self):
+        art = ascii_plot(FigureSeries("empty", [], []))
+        assert "empty" in art
+
+    def test_all_nan_series(self):
+        art = ascii_plot(FigureSeries("nan", [0, 1], [np.nan, np.nan]))
+        assert "no finite" in art
+
+    def test_constant_series(self):
+        art = ascii_plot(FigureSeries("flat", [0, 1, 2], [5.0, 5.0, 5.0]))
+        assert "*" in art

@@ -1,0 +1,80 @@
+"""Tests for the best-known-value cache (repro.analysis.reference_cache)."""
+
+import json
+
+import pytest
+
+from repro.analysis.reference_cache import (
+    ReferenceCache,
+    cached_reference_qkp_optimum,
+)
+from repro.baselines.exact_qkp import exact_qkp_bruteforce
+from repro.problems.generators import generate_qkp
+
+
+class TestReferenceCache:
+    def test_empty_cache(self, tmp_path):
+        cache = ReferenceCache(tmp_path / "ref.json")
+        assert len(cache) == 0
+        assert cache.get("missing") is None
+        assert "missing" not in cache
+
+    def test_update_persists(self, tmp_path):
+        path = tmp_path / "ref.json"
+        ReferenceCache(path).update("100-25-1", 18558.0)
+        reopened = ReferenceCache(path)
+        assert reopened.get("100-25-1") == 18558.0
+        assert "100-25-1" in reopened
+
+    def test_monotone_updates(self, tmp_path):
+        cache = ReferenceCache(tmp_path / "ref.json")
+        assert cache.update("a", 100.0) == 100.0
+        assert cache.update("a", 50.0) == 100.0  # never regress
+        assert cache.update("a", 150.0) == 150.0
+
+    def test_rejects_empty_name(self, tmp_path):
+        cache = ReferenceCache(tmp_path / "ref.json")
+        with pytest.raises(ValueError):
+            cache.update("", 1.0)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json at all {{{")
+        with pytest.raises(ValueError, match="corrupt"):
+            ReferenceCache(path)
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="object"):
+            ReferenceCache(path)
+
+    def test_creates_parent_directories(self, tmp_path):
+        cache = ReferenceCache(tmp_path / "deep" / "nested" / "ref.json")
+        cache.update("x", 1.0)
+        assert cache.path.exists()
+
+    def test_file_is_sorted_json(self, tmp_path):
+        path = tmp_path / "ref.json"
+        cache = ReferenceCache(path)
+        cache.update("zebra", 1.0)
+        cache.update("alpha", 2.0)
+        data = json.loads(path.read_text())
+        assert list(data.keys()) == ["alpha", "zebra"]
+
+
+class TestCachedReference:
+    def test_matches_exact_on_small_instances(self, tmp_path):
+        instance = generate_qkp(12, 0.5, rng=0, name="cache-test-12")
+        cache = ReferenceCache(tmp_path / "ref.json")
+        _, exact = exact_qkp_bruteforce(instance)
+        value = cached_reference_qkp_optimum(instance, cache, rng=0)
+        assert value == pytest.approx(exact)
+        assert cache.get("cache-test-12") == pytest.approx(exact)
+
+    def test_stored_better_value_wins(self, tmp_path):
+        instance = generate_qkp(30, 0.5, rng=1, name="cache-test-30")
+        cache = ReferenceCache(tmp_path / "ref.json")
+        cache.update("cache-test-30", 10**9)  # fictitious tighter bound
+        value = cached_reference_qkp_optimum(instance, cache, rng=0)
+        assert value == 10**9

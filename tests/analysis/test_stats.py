@@ -1,0 +1,55 @@
+"""Tests for repro.analysis.stats."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import accuracies, accuracy_percent, quartile_summary
+
+
+class TestAccuracy:
+    def test_optimum_is_100(self):
+        assert accuracy_percent(-50.0, -50.0) == pytest.approx(100.0)
+
+    def test_worse_cost_is_below_100(self):
+        assert accuracy_percent(-40.0, -50.0) == pytest.approx(80.0)
+
+    def test_vectorized(self):
+        np.testing.assert_allclose(
+            accuracies([-50.0, -25.0], -50.0), [100.0, 50.0]
+        )
+
+    def test_rejects_zero_optimum(self):
+        with pytest.raises(ValueError):
+            accuracy_percent(-1.0, 0.0)
+
+    def test_rejects_positive_optimum(self):
+        with pytest.raises(ValueError):
+            accuracy_percent(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            accuracies([-1.0], 1.0)
+
+
+class TestQuartileSummary:
+    def test_known_values(self):
+        summary = quartile_summary([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.minimum == 1.0
+        assert summary.median == 3.0
+        assert summary.maximum == 5.0
+        assert summary.q1 == 2.0
+        assert summary.q3 == 4.0
+        assert summary.count == 5
+
+    def test_iqr(self):
+        summary = quartile_summary([0.0, 10.0])
+        assert summary.interquartile_range == pytest.approx(
+            summary.q3 - summary.q1
+        )
+
+    def test_single_value(self):
+        summary = quartile_summary([7.0])
+        assert summary.minimum == summary.maximum == summary.median == 7.0
+        assert summary.interquartile_range == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            quartile_summary([])

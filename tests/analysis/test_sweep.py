@@ -1,0 +1,97 @@
+"""Tests for the parameter-sweep helper (repro.analysis.sweep)."""
+
+import pytest
+
+from repro.analysis.sweep import ParameterSweep, SweepPoint
+
+
+def quadratic_runner(x, y):
+    return {"score": -(x - 2) ** 2 - (y - 3) ** 2, "sum": float(x + y)}
+
+
+class TestParameterSweep:
+    def test_num_points(self):
+        sweep = ParameterSweep(quadratic_runner, {"x": [1, 2], "y": [1, 2, 3]})
+        assert sweep.num_points == 6
+
+    def test_run_covers_grid(self):
+        sweep = ParameterSweep(quadratic_runner, {"x": [1, 2], "y": [3]})
+        points = sweep.run()
+        assert len(points) == 2
+        assert {p.params["x"] for p in points} == {1, 2}
+        assert all(p.params["y"] == 3 for p in points)
+
+    def test_metrics_recorded(self):
+        sweep = ParameterSweep(quadratic_runner, {"x": [2], "y": [3]})
+        (point,) = sweep.run()
+        assert point.metrics["score"] == 0
+        assert point.metrics["sum"] == 5.0
+
+    def test_best_maximize(self):
+        sweep = ParameterSweep(quadratic_runner, {"x": [0, 1, 2, 3], "y": [3]})
+        best = sweep.best(sweep.run(), "score")
+        assert best.params["x"] == 2
+
+    def test_best_minimize(self):
+        sweep = ParameterSweep(quadratic_runner, {"x": [0, 1, 2], "y": [0, 3]})
+        worst = sweep.best(sweep.run(), "score", maximize=False)
+        assert worst.params == {"x": 0, "y": 0}
+
+    def test_render_contains_params_and_metrics(self):
+        sweep = ParameterSweep(quadratic_runner, {"x": [1], "y": [2]})
+        table = sweep.render(sweep.run(), title="sweep test")
+        assert "sweep test" in table
+        assert "score" in table and "sum" in table
+
+    def test_render_metric_subset(self):
+        sweep = ParameterSweep(quadratic_runner, {"x": [1], "y": [2]})
+        table = sweep.render(sweep.run(), metrics=["sum"])
+        assert "sum" in table and "score" not in table
+
+    def test_rejects_bad_runner(self):
+        with pytest.raises(TypeError):
+            ParameterSweep("not callable", {"x": [1]})
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            ParameterSweep(quadratic_runner, {})
+        with pytest.raises(ValueError):
+            ParameterSweep(quadratic_runner, {"x": []})
+
+    def test_rejects_non_dict_metrics(self):
+        sweep = ParameterSweep(lambda x: 42, {"x": [1]})
+        with pytest.raises(TypeError, match="dict"):
+            sweep.run()
+
+    def test_render_empty_rejected(self):
+        sweep = ParameterSweep(quadratic_runner, {"x": [1], "y": [1]})
+        with pytest.raises(ValueError):
+            sweep.render([])
+
+    def test_best_missing_metric_rejected(self):
+        sweep = ParameterSweep(quadratic_runner, {"x": [1], "y": [1]})
+        with pytest.raises(ValueError):
+            sweep.best(sweep.run(), "nonexistent")
+
+
+class TestSweepWithSolver:
+    def test_saim_eta_sweep(self):
+        """End-to-end: sweep SAIM's eta on a tiny problem."""
+        from repro.core.saim import SaimConfig, SelfAdaptiveIsingMachine
+        from tests.helpers import tiny_knapsack_problem
+
+        def runner(eta):
+            config = SaimConfig(num_iterations=15, mcs_per_run=60, eta=eta)
+            result = SelfAdaptiveIsingMachine(config).solve(
+                tiny_knapsack_problem(), rng=0
+            )
+            return {
+                "best_cost": result.best_cost,
+                "feasible": result.feasible_ratio,
+            }
+
+        sweep = ParameterSweep(runner, {"eta": [1.0, 5.0, 20.0]})
+        points = sweep.run()
+        assert len(points) == 3
+        best = sweep.best(points, "best_cost", maximize=False)
+        assert best.metrics["best_cost"] <= -8.0 + 1e-9

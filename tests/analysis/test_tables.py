@@ -1,0 +1,46 @@
+"""Tests for repro.analysis.tables."""
+
+import math
+
+import pytest
+
+from repro.analysis.tables import format_percent, render_table
+
+
+class TestFormatPercent:
+    def test_plain(self):
+        assert format_percent(99.25) == "99.2"
+
+    def test_decimals(self):
+        assert format_percent(99.25, decimals=2) == "99.25"
+
+    def test_nan_is_dash(self):
+        assert format_percent(float("nan")) == "-"
+
+    def test_none_is_dash(self):
+        assert format_percent(None) == "-"
+
+
+class TestRenderTable:
+    def test_contains_all_cells(self):
+        table = render_table(["a", "b"], [["x", "1"], ["y", "22"]])
+        for token in ("a", "b", "x", "y", "22"):
+            assert token in table
+
+    def test_title(self):
+        table = render_table(["a"], [["1"]], title="Table II")
+        assert table.startswith("Table II")
+
+    def test_column_alignment(self):
+        table = render_table(["col", "n"], [["long-name", "1"]])
+        lines = table.splitlines()
+        # All lines share the same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_numeric_cells_stringified(self):
+        table = render_table(["v"], [[1.5], [2]])
+        assert "1.5" in table and "2" in table

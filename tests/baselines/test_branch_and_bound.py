@@ -1,0 +1,39 @@
+"""Tests for the own B&B solver (repro.baselines.branch_and_bound)."""
+
+import pytest
+
+from repro.baselines.branch_and_bound import branch_and_bound_mkp
+from repro.baselines.milp import solve_mkp_exact
+from repro.problems.generators import generate_mkp
+
+
+class TestBranchAndBound:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_agrees_with_milp(self, seed):
+        instance = generate_mkp(14, 3, rng=seed)
+        bnb = branch_and_bound_mkp(instance)
+        milp = solve_mkp_exact(instance)
+        assert bnb.profit == pytest.approx(milp.profit)
+
+    def test_solution_is_feasible(self):
+        instance = generate_mkp(12, 2, rng=10)
+        result = branch_and_bound_mkp(instance)
+        assert instance.is_feasible(result.x)
+        assert instance.profit(result.x) == pytest.approx(result.profit)
+
+    def test_search_statistics(self):
+        instance = generate_mkp(12, 3, rng=11)
+        result = branch_and_bound_mkp(instance)
+        assert result.nodes_explored >= 1
+        assert 0 <= result.nodes_pruned <= result.nodes_explored
+
+    def test_node_budget_enforced(self):
+        instance = generate_mkp(40, 5, rng=12)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            branch_and_bound_mkp(instance, max_nodes=2)
+
+    def test_multiple_constraints(self):
+        instance = generate_mkp(12, 5, rng=13)
+        bnb = branch_and_bound_mkp(instance)
+        milp = solve_mkp_exact(instance)
+        assert bnb.profit == pytest.approx(milp.profit)

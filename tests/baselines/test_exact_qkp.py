@@ -1,0 +1,65 @@
+"""Tests for exact / reference QKP optima (repro.baselines.exact_qkp)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact_qkp import exact_qkp_bruteforce, reference_qkp_optimum
+from repro.problems.generators import generate_qkp
+from tests.helpers import all_binary_vectors
+
+
+class TestBruteForce:
+    def test_matches_direct_enumeration(self):
+        instance = generate_qkp(10, 0.5, rng=0)
+        x, profit = exact_qkp_bruteforce(instance)
+        best = 0.0
+        for candidate in all_binary_vectors(10):
+            if instance.is_feasible(candidate):
+                best = max(best, instance.profit(candidate))
+        assert profit == pytest.approx(best)
+        assert instance.is_feasible(x)
+        assert instance.profit(x) == pytest.approx(profit)
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError, match="brute force"):
+            exact_qkp_bruteforce(generate_qkp(30, 0.5, rng=0))
+
+    def test_tight_capacity(self):
+        instance = generate_qkp(8, 0.5, rng=1)
+        tight = type(instance)(
+            instance.values,
+            instance.pair_values,
+            instance.weights,
+            capacity=float(instance.weights.min()),
+        )
+        x, profit = exact_qkp_bruteforce(tight)
+        assert x.sum() <= 1  # at most the single lightest item fits
+
+
+class TestReferenceOptimum:
+    def test_exact_for_small_instances(self):
+        instance = generate_qkp(12, 0.5, rng=2)
+        _, exact = exact_qkp_bruteforce(instance)
+        assert reference_qkp_optimum(instance) == pytest.approx(exact)
+
+    def test_reference_is_feasible_profit(self):
+        instance = generate_qkp(40, 0.5, rng=3)
+        reference = reference_qkp_optimum(instance, rng=0)
+        assert reference > 0
+
+    def test_more_restarts_never_hurt(self):
+        instance = generate_qkp(40, 0.5, rng=4)
+        few = reference_qkp_optimum(instance, num_restarts=2, rng=0)
+        many = reference_qkp_optimum(instance, num_restarts=15, rng=0)
+        assert many >= few - 1e-9
+
+    def test_anneal_ensemble_member(self):
+        instance = generate_qkp(30, 0.5, rng=5)
+        reference = reference_qkp_optimum(instance, num_restarts=3, anneal_runs=5, rng=0)
+        assert reference > 0
+
+    def test_deterministic_given_seed(self):
+        instance = generate_qkp(35, 0.5, rng=6)
+        a = reference_qkp_optimum(instance, rng=9)
+        b = reference_qkp_optimum(instance, rng=9)
+        assert a == b

@@ -1,0 +1,68 @@
+"""Tests for the Chu–Beasley GA (repro.baselines.ga)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ga import GaConfig, GaResult, chu_beasley_ga
+from repro.baselines.milp import solve_mkp_exact
+from repro.problems.generators import generate_mkp
+
+FAST = GaConfig(population_size=30, num_children=400)
+
+
+class TestGaConfig:
+    def test_defaults_follow_chu_beasley(self):
+        config = GaConfig()
+        assert config.population_size == 100
+        assert config.mutation_bits == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"population_size": 2},
+            {"num_children": 0},
+            {"mutation_bits": -1},
+            {"tournament_size": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            GaConfig(**kwargs)
+
+
+class TestChuBeasleyGa:
+    def test_solution_is_feasible(self):
+        instance = generate_mkp(25, 3, rng=0)
+        result = chu_beasley_ga(instance, FAST, rng=0)
+        assert instance.is_feasible(result.best_x)
+        assert result.best_profit == pytest.approx(instance.profit(result.best_x))
+
+    def test_history_is_monotone(self):
+        instance = generate_mkp(25, 3, rng=1)
+        result = chu_beasley_ga(instance, FAST, rng=1)
+        assert np.all(np.diff(result.profit_history) >= 0)
+
+    def test_near_optimal_on_small_instances(self):
+        instance = generate_mkp(20, 3, rng=2)
+        exact = solve_mkp_exact(instance)
+        result = chu_beasley_ga(instance, FAST, rng=2)
+        assert result.best_profit >= 0.95 * exact.profit
+
+    def test_deterministic_given_seed(self):
+        instance = generate_mkp(15, 2, rng=3)
+        a = chu_beasley_ga(instance, FAST, rng=5)
+        b = chu_beasley_ga(instance, FAST, rng=5)
+        assert a.best_profit == b.best_profit
+
+    def test_default_config_used_when_none(self):
+        instance = generate_mkp(10, 2, rng=4)
+        config = GaConfig(population_size=10, num_children=50)
+        result = chu_beasley_ga(instance, config, rng=0)
+        assert isinstance(result, GaResult)
+        assert result.generations == 50
+
+    def test_improves_over_random_population(self):
+        instance = generate_mkp(40, 5, rng=5)
+        result = chu_beasley_ga(instance, FAST, rng=6)
+        # The GA must beat its own first-generation incumbent.
+        assert result.profit_history[-1] >= result.profit_history[0]

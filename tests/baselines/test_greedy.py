@@ -1,0 +1,111 @@
+"""Tests for greedy/repair/improve heuristics (repro.baselines.greedy)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.exact_qkp import exact_qkp_bruteforce
+from repro.baselines.greedy import (
+    greedy_mkp,
+    greedy_qkp,
+    local_improve_mkp,
+    local_improve_qkp,
+    repair_mkp,
+    repair_qkp,
+)
+from repro.problems.generators import generate_mkp, generate_qkp
+
+
+class TestGreedyQkp:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_always_feasible(self, seed):
+        instance = generate_qkp(30, 0.5, rng=seed)
+        assert instance.is_feasible(greedy_qkp(instance))
+
+    def test_nonzero_profit_when_possible(self):
+        instance = generate_qkp(20, 0.5, rng=1)
+        assert instance.profit(greedy_qkp(instance)) > 0
+
+    def test_near_optimal_on_small_instances(self):
+        instance = generate_qkp(14, 0.6, rng=2)
+        _, opt = exact_qkp_bruteforce(instance)
+        x = local_improve_qkp(instance, greedy_qkp(instance))
+        assert instance.profit(x) >= 0.85 * opt
+
+
+class TestRepairQkp:
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_repairs_anything(self, seed):
+        rng = np.random.default_rng(seed)
+        instance = generate_qkp(20, 0.5, rng=seed)
+        raw = (rng.uniform(0, 1, 20) < 0.8).astype(np.int8)
+        repaired = repair_qkp(instance, raw)
+        assert instance.is_feasible(repaired)
+
+    def test_feasible_input_untouched(self):
+        instance = generate_qkp(15, 0.5, rng=3)
+        x = greedy_qkp(instance)
+        np.testing.assert_array_equal(repair_qkp(instance, x), x)
+
+    def test_only_removes_items(self):
+        instance = generate_qkp(15, 0.5, rng=4)
+        raw = np.ones(15, dtype=np.int8)
+        repaired = repair_qkp(instance, raw)
+        assert np.all(repaired <= raw)
+
+
+class TestLocalImproveQkp:
+    def test_never_degrades(self):
+        instance = generate_qkp(25, 0.5, rng=5)
+        start = greedy_qkp(instance)
+        improved = local_improve_qkp(instance, start)
+        assert instance.profit(improved) >= instance.profit(start) - 1e-9
+        assert instance.is_feasible(improved)
+
+    def test_handles_infeasible_start(self):
+        instance = generate_qkp(15, 0.5, rng=6)
+        improved = local_improve_qkp(instance, np.ones(15, dtype=np.int8))
+        assert instance.is_feasible(improved)
+
+
+class TestGreedyMkp:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_always_feasible(self, seed):
+        instance = generate_mkp(30, 5, rng=seed)
+        assert instance.is_feasible(greedy_mkp(instance))
+
+    def test_collects_value(self):
+        instance = generate_mkp(30, 5, rng=0)
+        assert instance.profit(greedy_mkp(instance)) > 0
+
+
+class TestRepairMkp:
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_repairs_anything(self, seed):
+        rng = np.random.default_rng(seed)
+        instance = generate_mkp(25, 4, rng=seed)
+        raw = (rng.uniform(0, 1, 25) < 0.9).astype(np.int8)
+        assert instance.is_feasible(repair_mkp(instance, raw))
+
+    def test_refill_fills_spare_capacity(self):
+        instance = generate_mkp(25, 3, rng=1)
+        empty = np.zeros(25, dtype=np.int8)
+        refilled = repair_mkp(instance, empty)
+        # Starting from nothing, the refill phase acts as a greedy fill.
+        assert instance.profit(refilled) > 0
+
+
+class TestLocalImproveMkp:
+    def test_never_degrades(self):
+        instance = generate_mkp(25, 4, rng=2)
+        start = greedy_mkp(instance)
+        improved = local_improve_mkp(instance, start)
+        assert instance.profit(improved) >= instance.profit(start) - 1e-9
+        assert instance.is_feasible(improved)
+
+    def test_handles_infeasible_start(self):
+        instance = generate_mkp(20, 3, rng=3)
+        improved = local_improve_mkp(instance, np.ones(20, dtype=np.int8))
+        assert instance.is_feasible(improved)

@@ -1,0 +1,66 @@
+"""Tests for the exact MILP wrapper (repro.baselines.milp)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.milp import mkp_lp_bound, solve_mkp_exact
+from repro.problems.generators import generate_mkp
+from repro.problems.mkp import MkpInstance
+from tests.helpers import all_binary_vectors
+
+
+class TestSolveMkpExact:
+    def test_matches_brute_force(self):
+        instance = generate_mkp(12, 3, rng=0)
+        exact = solve_mkp_exact(instance)
+        best = 0.0
+        for x in all_binary_vectors(12):
+            if instance.is_feasible(x):
+                best = max(best, instance.profit(x))
+        assert exact.profit == pytest.approx(best)
+
+    def test_solution_is_feasible(self):
+        instance = generate_mkp(30, 5, rng=1)
+        exact = solve_mkp_exact(instance)
+        assert instance.is_feasible(exact.x)
+        assert exact.profit == pytest.approx(instance.profit(exact.x))
+
+    def test_records_time(self):
+        instance = generate_mkp(20, 3, rng=2)
+        exact = solve_mkp_exact(instance)
+        assert exact.solve_seconds > 0
+
+    def test_trivial_instance(self):
+        # Capacity fits everything: optimum takes all items.
+        instance = MkpInstance(
+            values=np.array([1.0, 2.0, 3.0]),
+            weights=np.ones((1, 3)),
+            capacities=np.array([100.0]),
+        )
+        exact = solve_mkp_exact(instance)
+        assert exact.profit == pytest.approx(6.0)
+
+    def test_zero_capacity(self):
+        instance = MkpInstance(
+            values=np.array([1.0, 2.0]),
+            weights=np.ones((1, 2)),
+            capacities=np.array([0.0]),
+        )
+        exact = solve_mkp_exact(instance)
+        assert exact.profit == 0.0
+        assert exact.x.sum() == 0
+
+
+class TestLpBound:
+    def test_bound_dominates_integer_optimum(self):
+        instance = generate_mkp(15, 3, rng=3)
+        exact = solve_mkp_exact(instance)
+        assert mkp_lp_bound(instance) >= exact.profit - 1e-6
+
+    def test_bound_is_tight_for_loose_capacity(self):
+        instance = MkpInstance(
+            values=np.array([5.0, 7.0]),
+            weights=np.ones((1, 2)),
+            capacities=np.array([10.0]),
+        )
+        assert mkp_lp_bound(instance) == pytest.approx(12.0)

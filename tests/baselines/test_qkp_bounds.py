@@ -1,0 +1,76 @@
+"""Tests for QKP bounds and B&B (repro.baselines.qkp_bounds)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.exact_qkp import exact_qkp_bruteforce
+from repro.baselines.qkp_bounds import (
+    branch_and_bound_qkp,
+    optimistic_profits,
+    qkp_upper_bound,
+)
+from repro.problems.generators import generate_qkp
+from tests.helpers import all_binary_vectors
+
+
+class TestOptimisticProfits:
+    def test_upper_bounds_selection_profit(self):
+        instance = generate_qkp(10, 0.6, rng=0)
+        optimistic = optimistic_profits(instance)
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            x = (rng.uniform(0, 1, 10) < 0.5).astype(np.int8)
+            assert instance.profit(x) <= optimistic @ x + 1e-9
+
+    def test_no_pairs_equals_values(self):
+        instance = generate_qkp(8, 0.0, rng=2)
+        np.testing.assert_allclose(optimistic_profits(instance), instance.values)
+
+
+class TestUpperBound:
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_dominates_exact_optimum(self, seed):
+        instance = generate_qkp(10, 0.5, rng=seed)
+        _, optimum = exact_qkp_bruteforce(instance)
+        assert qkp_upper_bound(instance) >= optimum - 1e-6
+
+    def test_zero_capacity(self):
+        instance = generate_qkp(8, 0.5, rng=3)
+        squeezed = type(instance)(
+            instance.values, instance.pair_values, instance.weights, capacity=0.0
+        )
+        assert qkp_upper_bound(squeezed) == 0.0
+
+
+class TestBranchAndBoundQkp:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force(self, seed):
+        instance = generate_qkp(12, 0.5, rng=seed)
+        result = branch_and_bound_qkp(instance)
+        _, exact = exact_qkp_bruteforce(instance)
+        assert result.profit == pytest.approx(exact)
+
+    def test_solution_is_feasible(self):
+        instance = generate_qkp(14, 0.4, rng=20)
+        result = branch_and_bound_qkp(instance)
+        assert instance.is_feasible(result.x)
+        assert instance.profit(result.x) == pytest.approx(result.profit)
+
+    def test_search_statistics(self):
+        instance = generate_qkp(10, 0.5, rng=21)
+        result = branch_and_bound_qkp(instance)
+        assert result.nodes_explored >= 1
+        assert result.nodes_pruned >= 0
+
+    def test_node_budget_enforced(self):
+        instance = generate_qkp(25, 1.0, rng=22)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            branch_and_bound_qkp(instance, max_nodes=5)
+
+    def test_dense_instance(self):
+        instance = generate_qkp(12, 1.0, rng=23)
+        result = branch_and_bound_qkp(instance)
+        _, exact = exact_qkp_bruteforce(instance)
+        assert result.profit == pytest.approx(exact)

@@ -1,0 +1,151 @@
+"""Tests for slack encoding and normalization (repro.core.encoding)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.encoding import encode_with_slacks, normalize_problem
+from repro.core.problem import ConstrainedProblem, LinearConstraints
+from repro.problems.generators import generate_qkp
+from repro.utils.binary import binary_decomposition_width
+from tests.helpers import all_binary_vectors, tiny_knapsack_problem
+
+
+class TestEncodeWithSlacks:
+    def test_slack_count_follows_paper_rule(self):
+        problem = tiny_knapsack_problem()  # capacity 6 -> Q = 3 slack bits
+        encoded = encode_with_slacks(problem)
+        assert encoded.num_slack == binary_decomposition_width(6) == 3
+        assert encoded.problem.num_variables == 6
+
+    def test_equalities_only_after_encoding(self):
+        encoded = encode_with_slacks(tiny_knapsack_problem())
+        assert encoded.problem.inequalities.num_constraints == 0
+        assert encoded.problem.equalities.num_constraints == 1
+
+    def test_objective_unchanged_on_original_variables(self):
+        problem = tiny_knapsack_problem()
+        encoded = encode_with_slacks(problem)
+        for x in all_binary_vectors(3):
+            x_ext = np.concatenate([x, np.zeros(encoded.num_slack, dtype=np.int8)])
+            assert encoded.problem.objective(x_ext) == pytest.approx(
+                problem.objective(x)
+            )
+
+    def test_feasible_x_has_feasible_extension(self):
+        """Every feasible original x extends to a feasible encoded state."""
+        problem = tiny_knapsack_problem()
+        encoded = encode_with_slacks(problem)
+        weights = np.array([2.0, 3.0, 4.0])
+        for x in all_binary_vectors(3):
+            slack_needed = 6.0 - weights @ x
+            if slack_needed < 0:
+                continue  # infeasible original state
+            # Decompose the exact slack into the slack bits.
+            bits = [(int(slack_needed) >> q) & 1 for q in range(encoded.num_slack)]
+            x_ext = np.concatenate([x, np.array(bits, dtype=np.int8)])
+            assert encoded.problem.is_feasible(x_ext)
+
+    def test_encoded_feasibility_implies_original(self):
+        """Feasible encoded states project to feasible original states."""
+        problem = tiny_knapsack_problem()
+        encoded = encode_with_slacks(problem)
+        n_ext = encoded.problem.num_variables
+        for x_ext in all_binary_vectors(n_ext):
+            if encoded.problem.is_feasible(x_ext):
+                assert problem.is_feasible(encoded.restrict(x_ext))
+
+    def test_restrict_and_slack_values(self):
+        encoded = encode_with_slacks(tiny_knapsack_problem())
+        x_ext = np.array([1, 0, 1, 0, 1, 1], dtype=np.int8)
+        np.testing.assert_array_equal(encoded.restrict(x_ext), [1, 0, 1])
+        # Slack bits (0, 1, 1) encode 0 + 2 + 4 = 6.
+        np.testing.assert_array_equal(encoded.slack_values(x_ext), [6.0])
+
+    def test_restrict_length_checked(self):
+        encoded = encode_with_slacks(tiny_knapsack_problem())
+        with pytest.raises(ValueError):
+            encoded.restrict(np.zeros(4))
+
+    def test_negative_bound_rejected(self):
+        problem = ConstrainedProblem(
+            np.zeros((2, 2)),
+            np.array([-1.0, -1.0]),
+            inequalities=LinearConstraints(np.ones((1, 2)), np.array([-1.0])),
+        )
+        with pytest.raises(ValueError, match="negative"):
+            encode_with_slacks(problem)
+
+    def test_existing_equalities_preserved(self):
+        problem = ConstrainedProblem(
+            np.zeros((2, 2)),
+            np.array([-1.0, -1.0]),
+            equalities=LinearConstraints(np.array([[1.0, 1.0]]), np.array([1.0])),
+            inequalities=LinearConstraints(np.array([[1.0, 0.0]]), np.array([1.0])),
+        )
+        encoded = encode_with_slacks(problem)
+        assert encoded.problem.equalities.num_constraints == 2
+        # First row is the original equality, padded with zero slack coeffs.
+        np.testing.assert_array_equal(
+            encoded.problem.equalities.coefficients[0, :2], [1.0, 1.0]
+        )
+        assert np.all(encoded.problem.equalities.coefficients[0, 2:] == 0)
+
+    def test_qkp_slack_extension_dimensions(self):
+        instance = generate_qkp(12, 0.5, rng=0)
+        encoded = encode_with_slacks(instance.to_problem())
+        expected_slack = binary_decomposition_width(int(np.ceil(instance.capacity)))
+        assert encoded.num_slack == expected_slack
+        assert encoded.num_original == 12
+
+
+class TestNormalize:
+    def test_coefficients_bounded_by_one(self):
+        instance = generate_qkp(15, 0.6, rng=1)
+        encoded = encode_with_slacks(instance.to_problem())
+        normalized, _ = normalize_problem(encoded.problem)
+        assert np.max(np.abs(normalized.quadratic)) <= 1.0 + 1e-12
+        assert np.max(np.abs(normalized.linear)) <= 1.0 + 1e-12
+        eq = normalized.equalities
+        assert np.max(np.abs(eq.coefficients)) <= 1.0 + 1e-12
+        assert np.max(np.abs(eq.bounds)) <= 1.0 + 1e-12
+
+    def test_feasible_set_preserved(self):
+        problem = encode_with_slacks(tiny_knapsack_problem()).problem
+        normalized, _ = normalize_problem(problem)
+        for x in all_binary_vectors(problem.num_variables):
+            assert problem.is_feasible(x) == normalized.is_feasible(x, tol=1e-9)
+
+    def test_objective_scales_linearly(self):
+        problem = encode_with_slacks(tiny_knapsack_problem()).problem
+        normalized, scales = normalize_problem(problem)
+        for x in all_binary_vectors(problem.num_variables)[:16]:
+            assert scales.objective_scale * normalized.objective(x) == pytest.approx(
+                problem.objective(x)
+            )
+
+    def test_rejects_inequalities(self):
+        with pytest.raises(ValueError, match="equality-form"):
+            normalize_problem(tiny_knapsack_problem())
+
+    def test_zero_objective_scale_handled(self):
+        problem = ConstrainedProblem(
+            np.zeros((2, 2)),
+            np.zeros(2),
+            equalities=LinearConstraints(np.array([[1.0, 1.0]]), np.array([1.0])),
+        )
+        normalized, scales = normalize_problem(problem)
+        assert scales.objective_scale == 1.0
+        assert normalized.objective([1, 0]) == 0.0
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_constraint_residual_sign_preserved(self, seed):
+        instance = generate_qkp(10, 0.5, rng=seed)
+        encoded = encode_with_slacks(instance.to_problem())
+        normalized, scales = normalize_problem(encoded.problem)
+        rng = np.random.default_rng(seed)
+        x = (rng.uniform(0, 1, size=encoded.problem.num_variables) < 0.5).astype(int)
+        raw = encoded.problem.equalities.residuals(x)
+        scaled = normalized.equalities.residuals(x)
+        np.testing.assert_allclose(scaled * scales.constraint_scales, raw, atol=1e-9)

@@ -1,0 +1,114 @@
+"""Tests for the Lagrangian relaxation machinery (repro.core.lagrangian)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.encoding import encode_with_slacks, normalize_problem
+from repro.core.lagrangian import LagrangianIsing
+from repro.core.penalty import build_penalty_qubo
+from repro.ising.exhaustive import brute_force_ground_state
+from tests.helpers import all_binary_vectors, tiny_constrained_problem, tiny_knapsack_problem
+
+
+def _binary_to_spins(x):
+    return 2.0 * np.asarray(x, dtype=float) - 1.0
+
+
+class TestLagrangianEnergy:
+    def test_zero_lambda_equals_penalty_energy(self):
+        problem = tiny_constrained_problem()
+        lag = LagrangianIsing(problem, penalty=2.0)
+        qubo = build_penalty_qubo(problem, 2.0)
+        for x in all_binary_vectors(3):
+            assert lag.energy(x, np.zeros(1)) == pytest.approx(qubo.energy(x))
+
+    @given(st.floats(min_value=-20, max_value=20, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_lagrangian_definition(self, lam):
+        """L(x, lambda) = E(x) + lambda^T g(x) for every x."""
+        problem = tiny_constrained_problem()
+        lag = LagrangianIsing(problem, penalty=1.5)
+        qubo = build_penalty_qubo(problem, 1.5)
+        for x in all_binary_vectors(3):
+            residual = problem.equalities.residuals(x)
+            expected = qubo.energy(x) + lam * residual[0]
+            assert lag.energy(x, np.array([lam])) == pytest.approx(expected, abs=1e-9)
+
+    @given(st.floats(min_value=-20, max_value=20, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_ising_form_matches_binary_form(self, lam):
+        """The reprogrammed Ising model evaluates L exactly."""
+        problem = tiny_constrained_problem()
+        lag = LagrangianIsing(problem, penalty=1.5)
+        model = lag.ising_for(np.array([lam]))
+        for x in all_binary_vectors(3):
+            assert model.energy(_binary_to_spins(x)) == pytest.approx(
+                lag.energy(x, np.array([lam])), abs=1e-9
+            )
+
+    def test_fields_change_but_couplings_do_not(self):
+        problem = encode_with_slacks(tiny_knapsack_problem()).problem
+        lag = LagrangianIsing(problem, penalty=2.0)
+        model_a = lag.ising_for(np.array([0.0]))
+        model_b = lag.ising_for(np.array([5.0]))
+        np.testing.assert_array_equal(model_a.coupling, model_b.coupling)
+        assert not np.allclose(model_a.fields, model_b.fields)
+
+    def test_lambda_at_feasible_point_adds_nothing(self):
+        """g(x) = 0 at feasible x, so lambda cannot change L there."""
+        problem = tiny_constrained_problem()
+        lag = LagrangianIsing(problem, penalty=2.0)
+        feasible_x = np.array([0, 1, 1])
+        for lam in (-3.0, 0.0, 7.0):
+            assert lag.energy(feasible_x, np.array([lam])) == pytest.approx(
+                lag.energy(feasible_x, np.zeros(1))
+            )
+
+    def test_residuals_are_subgradient(self):
+        problem = tiny_constrained_problem()
+        lag = LagrangianIsing(problem, penalty=2.0)
+        np.testing.assert_allclose(lag.residuals([1, 1, 1]), [1.0])
+        np.testing.assert_allclose(lag.residuals([0, 0, 0]), [-2.0])
+
+    def test_rejects_wrong_lambda_shape(self):
+        lag = LagrangianIsing(tiny_constrained_problem(), penalty=1.0)
+        with pytest.raises(ValueError):
+            lag.fields_for(np.zeros(2))
+
+    def test_rejects_inequality_problems(self):
+        with pytest.raises(ValueError, match="equality-form"):
+            LagrangianIsing(tiny_knapsack_problem(), penalty=1.0)
+
+
+class TestDualShaping:
+    def test_optimal_lambda_closes_the_gap(self):
+        """The core claim of Fig. 2: some lambda* makes the ground state of
+        L feasible and optimal even though P < P_C."""
+        problem = tiny_constrained_problem()
+        small_penalty = 0.1
+        lag = LagrangianIsing(problem, penalty=small_penalty)
+
+        # With lambda = 0 the ground state is infeasible (P too small).
+        state0, _ = brute_force_ground_state(lag.ising_for(np.zeros(1)))
+        x0 = ((state0 + 1) / 2).astype(int)
+        assert not problem.is_feasible(x0)
+
+        # Scan lambda: some value must make the minimizer feasible-optimal.
+        closed = False
+        for lam in np.linspace(-5, 5, 101):
+            state, _ = brute_force_ground_state(lag.ising_for(np.array([lam])))
+            x = ((state + 1) / 2).astype(int)
+            if problem.is_feasible(x) and problem.objective(x) == pytest.approx(-5.0):
+                closed = True
+                break
+        assert closed
+
+    def test_dual_value_is_lower_bound(self):
+        """min_x L(x, lambda) <= OPT for every lambda (weak duality)."""
+        problem = tiny_constrained_problem()
+        lag = LagrangianIsing(problem, penalty=0.5)
+        opt = -5.0  # penalty and lambda terms vanish at feasible x
+        for lam in np.linspace(-10, 10, 21):
+            _, lower_bound = brute_force_ground_state(lag.ising_for(np.array([lam])))
+            assert lower_bound <= opt + 1e-9

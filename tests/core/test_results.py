@@ -1,0 +1,43 @@
+"""Tests for the result containers (repro.core.results)."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import FeasibleRecord, SolveTrace
+
+
+def make_trace(feasible_pattern):
+    k = len(feasible_pattern)
+    return SolveTrace(
+        sample_costs=np.arange(k, dtype=float),
+        feasible=np.array(feasible_pattern, dtype=bool),
+        lambdas=np.zeros((k, 2)),
+        energies=np.zeros(k),
+    )
+
+
+class TestSolveTrace:
+    def test_num_iterations(self):
+        assert make_trace([0, 1, 0]).num_iterations == 3
+
+    def test_first_feasible_iteration(self):
+        assert make_trace([0, 0, 1, 1]).first_feasible_iteration() == 2
+
+    def test_first_feasible_none(self):
+        assert make_trace([0, 0, 0]).first_feasible_iteration() is None
+
+    def test_first_feasible_immediate(self):
+        assert make_trace([1, 0]).first_feasible_iteration() == 0
+
+
+class TestFeasibleRecord:
+    def test_fields(self):
+        record = FeasibleRecord(iteration=3, x=np.array([1, 0]), cost=-2.5)
+        assert record.iteration == 3
+        assert record.cost == -2.5
+        np.testing.assert_array_equal(record.x, [1, 0])
+
+    def test_frozen(self):
+        record = FeasibleRecord(iteration=0, x=np.zeros(2), cost=0.0)
+        with pytest.raises(AttributeError):
+            record.cost = 1.0

@@ -1,0 +1,60 @@
+"""Tests for beta schedules (repro.core.schedule)."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import (
+    constant_beta_schedule,
+    geometric_beta_schedule,
+    linear_beta_schedule,
+)
+
+
+class TestLinear:
+    def test_endpoints(self):
+        schedule = linear_beta_schedule(10.0, 100)
+        assert schedule[0] == 0.0
+        assert schedule[-1] == 10.0
+        assert schedule.size == 100
+
+    def test_monotone(self):
+        assert np.all(np.diff(linear_beta_schedule(5.0, 50)) >= 0)
+
+    def test_custom_beta_min(self):
+        schedule = linear_beta_schedule(4.0, 10, beta_min=1.0)
+        assert schedule[0] == 1.0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            linear_beta_schedule(0.0, 10)
+        with pytest.raises(ValueError):
+            linear_beta_schedule(1.0, 0)
+        with pytest.raises(ValueError):
+            linear_beta_schedule(1.0, 10, beta_min=2.0)
+
+
+class TestGeometric:
+    def test_endpoints(self):
+        schedule = geometric_beta_schedule(8.0, 20, beta_min=0.5)
+        assert schedule[0] == pytest.approx(0.5)
+        assert schedule[-1] == pytest.approx(8.0)
+
+    def test_ratios_constant(self):
+        schedule = geometric_beta_schedule(16.0, 5, beta_min=1.0)
+        ratios = schedule[1:] / schedule[:-1]
+        np.testing.assert_allclose(ratios, ratios[0])
+
+    def test_rejects_zero_beta_min(self):
+        with pytest.raises(ValueError):
+            geometric_beta_schedule(1.0, 10, beta_min=0.0)
+
+
+class TestConstant:
+    def test_values(self):
+        schedule = constant_beta_schedule(2.5, 7)
+        assert schedule.size == 7
+        assert np.all(schedule == 2.5)
+
+    def test_rejects_zero_beta(self):
+        with pytest.raises(ValueError):
+            constant_beta_schedule(0.0, 5)

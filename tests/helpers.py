@@ -1,0 +1,67 @@
+"""Shared builders for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import ConstrainedProblem, LinearConstraints
+from repro.ising.model import IsingModel, QuboModel
+from repro.utils.rng import ensure_rng
+
+
+def random_qubo(n: int, rng=None, density: float = 0.7) -> QuboModel:
+    """Random dense-ish QUBO with coefficients in [-1, 1]."""
+    rng = ensure_rng(rng)
+    upper = np.triu(rng.uniform(-1, 1, size=(n, n)), k=1)
+    upper *= np.triu(rng.uniform(0, 1, size=(n, n)) < density, k=1)
+    quad = upper + upper.T
+    linear = rng.uniform(-1, 1, size=n)
+    return QuboModel(quad, linear, offset=float(rng.uniform(-1, 1)))
+
+
+def random_ising(n: int, rng=None, density: float = 0.7) -> IsingModel:
+    """Random dense-ish Ising model with coefficients in [-1, 1]."""
+    rng = ensure_rng(rng)
+    upper = np.triu(rng.uniform(-1, 1, size=(n, n)), k=1)
+    upper *= np.triu(rng.uniform(0, 1, size=(n, n)) < density, k=1)
+    coupling = upper + upper.T
+    fields = rng.uniform(-1, 1, size=n)
+    return IsingModel(coupling, fields, offset=float(rng.uniform(-1, 1)))
+
+
+def all_binary_vectors(n: int) -> np.ndarray:
+    """Every 0/1 vector of length n, as an array of shape (2**n, n)."""
+    codes = np.arange(2**n, dtype=np.int64)
+    return ((codes[:, None] >> np.arange(n)) & 1).astype(np.int8)
+
+
+def tiny_constrained_problem() -> ConstrainedProblem:
+    """3-variable problem with one equality, solvable by hand.
+
+    minimize  -x0 - 2 x1 - 3 x2   s.t.  x0 + x1 + x2 = 2
+    Optimal: x = (0, 1, 1), objective -5.
+    """
+    n = 3
+    return ConstrainedProblem(
+        quadratic=np.zeros((n, n)),
+        linear=np.array([-1.0, -2.0, -3.0]),
+        equalities=LinearConstraints(np.ones((1, n)), np.array([2.0])),
+        name="tiny-eq",
+    )
+
+
+def tiny_knapsack_problem() -> ConstrainedProblem:
+    """3-variable knapsack with one inequality, solvable by hand.
+
+    minimize  -3 x0 - 4 x1 - 5 x2   s.t.  2 x0 + 3 x1 + 4 x2 <= 6
+    Optimal: x = (1, 0, 1), objective -8.
+    """
+    n = 3
+    return ConstrainedProblem(
+        quadratic=np.zeros((n, n)),
+        linear=np.array([-3.0, -4.0, -5.0]),
+        inequalities=LinearConstraints(
+            np.array([[2.0, 3.0, 4.0]]), np.array([6.0])
+        ),
+        name="tiny-knap",
+    )

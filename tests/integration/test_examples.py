@@ -1,0 +1,64 @@
+"""Smoke tests: every shipped example runs end-to-end and prints results."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parents[2] / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesExist:
+    def test_at_least_five_examples(self):
+        assert len(EXAMPLES) >= 5
+
+    def test_quickstart_present(self):
+        assert "quickstart" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+class TestExamplesRun:
+    def test_runs_and_reports(self, name, capsys):
+        module = _load_example(name)
+        assert hasattr(module, "main"), f"{name}.py must define main()"
+        module.main()
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) >= 3, f"{name} printed almost nothing"
+
+
+class TestExampleResults:
+    """Pin the headline numbers the examples advertise."""
+
+    def test_quickstart_reaches_reference(self, capsys):
+        _load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        assert "SAIM" in out
+
+    def test_toy_lagrange_closes_gap(self, capsys):
+        _load_example("toy_lagrange").main()
+        out = capsys.readouterr().out
+        assert "LB_L = -1.00" in out
+        assert "gap closes" in out
+
+    def test_maxcut_demo_hits_optimum(self, capsys):
+        _load_example("maxcut_demo").main()
+        out = capsys.readouterr().out
+        assert "100.0% of optimum" in out
+
+    def test_capital_budgeting_reports_all_solvers(self, capsys):
+        _load_example("capital_budgeting").main()
+        out = capsys.readouterr().out
+        for token in ("Exact optimum", "Chu-Beasley GA", "SAIM"):
+            assert token in out

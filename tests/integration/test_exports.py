@@ -1,0 +1,51 @@
+"""Export hygiene: every public symbol resolves and is documented."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.ising",
+    "repro.problems",
+    "repro.baselines",
+    "repro.analysis",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+class TestExports:
+    def test_all_symbols_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        for name in package.__all__:
+            assert getattr(package, name, None) is not None, (
+                f"{package_name}.{name} in __all__ but not importable"
+            )
+
+    def test_no_duplicate_exports(self, package_name):
+        package = importlib.import_module(package_name)
+        assert len(package.__all__) == len(set(package.__all__))
+
+    def test_public_callables_are_documented(self, package_name):
+        package = importlib.import_module(package_name)
+        undocumented = []
+        for name in package.__all__:
+            obj = getattr(package, name)
+            if callable(obj) and not getattr(obj, "__doc__", None):
+                undocumented.append(name)
+        assert not undocumented, (
+            f"{package_name} exports without docstrings: {undocumented}"
+        )
+
+
+class TestModuleDocstrings:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_packages_have_docstrings(self, package_name):
+        package = importlib.import_module(package_name)
+        assert package.__doc__, f"{package_name} lacks a module docstring"
+
+    def test_cli_importable(self):
+        cli = importlib.import_module("repro.cli")
+        assert callable(cli.main)

@@ -1,0 +1,74 @@
+"""End-to-end checks of the REPRO_SCALE harness wiring at smoke scale."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    _SCALES,
+    mkp_saim_config,
+    qkp_saim_config,
+    run_saim_on_qkp,
+    table2_suite,
+    table5_suite,
+)
+
+SMOKE = _SCALES["smoke"]
+FULL = _SCALES["full"]
+
+
+class TestPresetConsistency:
+    def test_all_presets_define_same_structure(self):
+        for scale in _SCALES.values():
+            assert scale.instances_per_group >= 1
+            assert 0 < scale.iteration_factor <= 1.0
+            assert 0 < scale.mcs_factor <= 1.0
+
+    def test_full_scale_is_the_paper(self):
+        qkp = qkp_saim_config(FULL)
+        assert qkp.num_iterations == 2000
+        assert qkp.mcs_per_run == 1000
+        assert qkp.eta == 20.0
+        assert qkp.eta_decay == "constant"
+        assert not qkp.normalize_step
+        mkp = mkp_saim_config(FULL)
+        assert mkp.num_iterations == 5000
+        assert mkp.eta == pytest.approx(0.05)
+
+    def test_reduced_scales_use_robust_step(self):
+        for name in ("smoke", "ci"):
+            config = qkp_saim_config(_SCALES[name])
+            assert config.normalize_step
+            assert config.eta_decay == "sqrt"
+
+    def test_suites_scale_instance_counts(self):
+        assert len(table2_suite(SMOKE)) == 2 * SMOKE.instances_per_group
+        assert len(table5_suite(SMOKE)) == 3 * SMOKE.instances_per_group
+
+    def test_suite_instances_are_stable_across_calls(self):
+        first = table2_suite(SMOKE)
+        second = table2_suite(SMOKE)
+        for a, b in zip(first, second):
+            assert a.name == b.name
+            np.testing.assert_array_equal(a.weights, b.weights)
+
+
+class TestSmokePipeline:
+    def test_smoke_scale_qkp_run_end_to_end(self):
+        """The complete harness path a benchmark takes, at smoke size."""
+        instance = table2_suite(SMOKE)[0]
+        record = run_saim_on_qkp(instance, qkp_saim_config(SMOKE), seed=0)
+        assert record.instance_name == instance.name
+        assert record.penalty > 0
+        assert record.total_mcs == (
+            qkp_saim_config(SMOKE).num_iterations
+            * qkp_saim_config(SMOKE).mcs_per_run
+        )
+
+    def test_harness_runs_are_deterministic(self):
+        instance = table2_suite(SMOKE)[0]
+        a = run_saim_on_qkp(instance, qkp_saim_config(SMOKE), seed=5)
+        b = run_saim_on_qkp(instance, qkp_saim_config(SMOKE), seed=5)
+        assert a.best_accuracy == b.best_accuracy or (
+            np.isnan(a.best_accuracy) and np.isnan(b.best_accuracy)
+        )
+        assert a.feasible_percent == b.feasible_percent

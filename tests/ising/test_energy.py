@@ -1,0 +1,70 @@
+"""Tests for repro.ising.energy kernels (batch and incremental)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ising.energy import (
+    all_flip_deltas,
+    flip_delta,
+    input_fields,
+    ising_energies,
+    ising_energy,
+    qubo_energies,
+    qubo_energy,
+)
+from tests.helpers import all_binary_vectors, random_ising, random_qubo
+
+
+class TestBatchEnergies:
+    def test_qubo_batch_matches_scalar(self):
+        model = random_qubo(6, rng=0)
+        xs = all_binary_vectors(6)
+        batch = qubo_energies(model, xs)
+        for row, expected in zip(xs, batch):
+            assert qubo_energy(model, row) == pytest.approx(expected)
+
+    def test_ising_batch_matches_scalar(self):
+        model = random_ising(6, rng=1)
+        spins = 2.0 * all_binary_vectors(6) - 1.0
+        batch = ising_energies(model, spins)
+        for row, expected in zip(spins, batch):
+            assert ising_energy(model, row) == pytest.approx(expected)
+
+    def test_batch_requires_2d(self):
+        model = random_qubo(3, rng=0)
+        with pytest.raises(ValueError, match="2-D"):
+            qubo_energies(model, np.zeros(3))
+        ising = random_ising(3, rng=0)
+        with pytest.raises(ValueError, match="2-D"):
+            ising_energies(ising, np.ones(3))
+
+
+class TestIncremental:
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_flip_delta_matches_recomputation(self, seed):
+        rng = np.random.default_rng(seed)
+        model = random_ising(7, rng=rng)
+        spins = rng.choice([-1.0, 1.0], size=7)
+        fields = input_fields(model, spins)
+        index = int(rng.integers(0, 7))
+        flipped = spins.copy()
+        flipped[index] = -flipped[index]
+        expected = ising_energy(model, flipped) - ising_energy(model, spins)
+        assert flip_delta(spins, fields, index) == pytest.approx(expected, abs=1e-9)
+
+    def test_all_flip_deltas_match_individual(self):
+        rng = np.random.default_rng(4)
+        model = random_ising(8, rng=rng)
+        spins = rng.choice([-1.0, 1.0], size=8)
+        fields = input_fields(model, spins)
+        deltas = all_flip_deltas(spins, fields)
+        for i in range(8):
+            assert deltas[i] == pytest.approx(flip_delta(spins, fields, i))
+
+    def test_input_fields_definition(self):
+        model = random_ising(5, rng=9)
+        spins = np.ones(5)
+        expected = model.coupling @ spins + model.fields
+        np.testing.assert_allclose(input_fields(model, spins), expected)

@@ -1,0 +1,69 @@
+"""Tests for repro.ising.exhaustive (the oracle itself)."""
+
+import numpy as np
+import pytest
+
+from repro.ising.energy import ising_energies, qubo_energies
+from repro.ising.exhaustive import brute_force_ground_state, enumerate_energies
+from repro.ising.model import IsingModel
+from tests.helpers import all_binary_vectors, random_ising, random_qubo
+
+
+class TestEnumerate:
+    def test_matches_batch_eval_qubo(self):
+        model = random_qubo(5, rng=0)
+        xs = all_binary_vectors(5)
+        np.testing.assert_allclose(enumerate_energies(model), qubo_energies(model, xs))
+
+    def test_matches_batch_eval_ising(self):
+        model = random_ising(5, rng=1)
+        spins = 2.0 * all_binary_vectors(5) - 1.0
+        np.testing.assert_allclose(
+            enumerate_energies(model), ising_energies(model, spins)
+        )
+
+    def test_chunked_path(self):
+        # n > 16 exercises the high-bits chunking branch.
+        model = random_ising(17, rng=2, density=0.2)
+        energies = enumerate_energies(model)
+        assert energies.size == 2**17
+        # Spot check a few codes.
+        rng = np.random.default_rng(0)
+        for code in rng.integers(0, 2**17, size=5):
+            bits = ((int(code) >> np.arange(17)) & 1).astype(float)
+            assert energies[code] == pytest.approx(model.energy(2 * bits - 1))
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError, match="limited"):
+            enumerate_energies(random_ising(25, rng=0))
+
+
+class TestGroundState:
+    def test_ferromagnet_ground_state(self):
+        # All-equal spins minimize a ferromagnet (J > 0 in the paper's sign
+        # convention: H = -J sum s_i s_j).
+        n = 6
+        coupling = np.ones((n, n)) - np.eye(n)
+        model = IsingModel(coupling, np.zeros(n))
+        state, energy = brute_force_ground_state(model)
+        assert abs(state.sum()) == n
+        assert energy == pytest.approx(-n * (n - 1) / 2)
+
+    def test_field_alignment(self):
+        # With no couplings, each spin aligns to its field.
+        fields = np.array([1.0, -2.0, 0.5])
+        model = IsingModel(np.zeros((3, 3)), fields)
+        state, energy = brute_force_ground_state(model)
+        np.testing.assert_array_equal(state, np.sign(fields))
+        assert energy == pytest.approx(-np.abs(fields).sum())
+
+    def test_qubo_ground_state_is_binary(self):
+        model = random_qubo(6, rng=3)
+        state, energy = brute_force_ground_state(model)
+        assert set(np.unique(state)).issubset({0, 1})
+        assert model.energy(state) == pytest.approx(energy)
+
+    def test_ground_state_is_minimum(self):
+        model = random_ising(8, rng=4)
+        _, energy = brute_force_ground_state(model)
+        assert energy == pytest.approx(enumerate_energies(model).min())

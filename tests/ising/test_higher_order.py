@@ -1,0 +1,127 @@
+"""Tests for higher-order Ising machines (repro.ising.higher_order)."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import linear_beta_schedule
+from repro.ising.exhaustive import brute_force_ground_state
+from repro.ising.higher_order import (
+    HigherOrderPBitMachine,
+    PolyIsingModel,
+    enumerate_poly_energies,
+)
+from tests.helpers import random_ising
+
+
+def random_cubic_model(n: int, seed: int) -> PolyIsingModel:
+    """Random model with 1-, 2-, and 3-spin interactions."""
+    rng = np.random.default_rng(seed)
+    terms = {}
+    for i in range(n):
+        terms[(i,)] = float(rng.uniform(-1, 1))
+    for _ in range(2 * n):
+        i, j = sorted(rng.choice(n, size=2, replace=False))
+        terms[(int(i), int(j))] = float(rng.uniform(-1, 1))
+    for _ in range(n):
+        i, j, k = sorted(rng.choice(n, size=3, replace=False))
+        terms[(int(i), int(j), int(k))] = float(rng.uniform(-1, 1))
+    return PolyIsingModel(n, terms)
+
+
+class TestPolyIsingModel:
+    def test_quadratic_lift_preserves_energy(self):
+        dense = random_ising(7, rng=0)
+        poly = PolyIsingModel.from_quadratic(dense)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            spins = rng.choice([-1.0, 1.0], size=7)
+            assert poly.energy(spins) == pytest.approx(dense.energy(spins))
+
+    def test_max_order(self):
+        model = random_cubic_model(6, seed=0)
+        assert model.max_order == 3
+        quad = PolyIsingModel.from_quadratic(random_ising(4, rng=0))
+        assert quad.max_order == 2
+
+    def test_term_key_normalization(self):
+        # Unsorted index tuples collapse onto the same canonical term.
+        model = PolyIsingModel(3, {(2, 0): 1.0, (0, 2): 1.0})
+        assert model.terms == {(0, 2): 2.0}
+
+    def test_rejects_repeated_indices(self):
+        with pytest.raises(ValueError, match="repeated"):
+            PolyIsingModel(3, {(1, 1): 1.0})
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="range"):
+            PolyIsingModel(2, {(0, 5): 1.0})
+
+    def test_rejects_constant_terms(self):
+        with pytest.raises(ValueError, match="offset"):
+            PolyIsingModel(2, {(): 1.0})
+
+    def test_cubic_energy_by_hand(self):
+        # H = -c * s0 s1 s2 with c = 2: aligned spins give -2.
+        model = PolyIsingModel(3, {(0, 1, 2): 2.0})
+        assert model.energy([1, 1, 1]) == pytest.approx(-2.0)
+        assert model.energy([1, -1, 1]) == pytest.approx(2.0)
+
+    def test_local_field_matches_flip_delta(self):
+        model = random_cubic_model(6, seed=2)
+        rng = np.random.default_rng(3)
+        spins = rng.choice([-1.0, 1.0], size=6)
+        for i in range(6):
+            field = model.local_field(spins, i)
+            flipped = spins.copy()
+            flipped[i] = -flipped[i]
+            delta = model.energy(flipped) - model.energy(spins)
+            assert delta == pytest.approx(2.0 * spins[i] * field, abs=1e-9)
+
+
+class TestHigherOrderPBitMachine:
+    def test_finds_cubic_ground_state(self):
+        model = random_cubic_model(8, seed=4)
+        exact = enumerate_poly_energies(model).min()
+        machine = HigherOrderPBitMachine(model, rng=0)
+        best = min(
+            machine.anneal(linear_beta_schedule(8.0, 300)).best_energy
+            for _ in range(5)
+        )
+        assert best == pytest.approx(exact, abs=1e-9)
+
+    def test_agrees_with_quadratic_machine_on_quadratic_model(self):
+        dense = random_ising(8, rng=5)
+        _, ground = brute_force_ground_state(dense)
+        poly = PolyIsingModel.from_quadratic(dense)
+        machine = HigherOrderPBitMachine(poly, rng=0)
+        best = min(
+            machine.anneal(linear_beta_schedule(8.0, 300)).best_energy
+            for _ in range(5)
+        )
+        assert best == pytest.approx(ground, abs=1e-9)
+
+    def test_energy_bookkeeping(self):
+        model = random_cubic_model(7, seed=6)
+        machine = HigherOrderPBitMachine(model, rng=1)
+        result = machine.anneal(linear_beta_schedule(4.0, 60))
+        assert result.last_energy == pytest.approx(
+            model.energy(result.last_sample), abs=1e-6
+        )
+
+    def test_rejects_empty_schedule(self):
+        machine = HigherOrderPBitMachine(random_cubic_model(4, seed=0))
+        with pytest.raises(ValueError):
+            machine.anneal(np.array([]))
+
+
+class TestEnumeration:
+    def test_size_limit(self):
+        with pytest.raises(ValueError, match="limited"):
+            enumerate_poly_energies(random_cubic_model(21, seed=0))
+
+    def test_matches_direct_eval(self):
+        model = random_cubic_model(6, seed=7)
+        energies = enumerate_poly_energies(model)
+        for code in (0, 5, 63):
+            bits = (code >> np.arange(6)) & 1
+            assert energies[code] == pytest.approx(model.energy(2.0 * bits - 1.0))

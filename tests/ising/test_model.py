@@ -1,0 +1,103 @@
+"""Tests for repro.ising.model: QUBO/Ising containers and conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ising.model import IsingModel, QuboModel
+from tests.helpers import all_binary_vectors, random_ising, random_qubo
+
+
+class TestQuboModel:
+    def test_rejects_nonzero_diagonal(self):
+        with pytest.raises(ValueError, match="diagonal"):
+            QuboModel(np.eye(2), np.zeros(2))
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            QuboModel(np.array([[0.0, 1.0], [0.0, 0.0]]), np.zeros(2))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            QuboModel(np.zeros((2, 2)), np.zeros(3))
+
+    def test_from_matrices_folds_diagonal(self):
+        # x^T diag(d) x == d^T x for binary x.
+        quad = np.array([[2.0, 1.0], [1.0, -3.0]])
+        model = QuboModel.from_matrices(quad, np.array([0.5, 0.5]))
+        np.testing.assert_array_equal(np.diag(model.quadratic), [0, 0])
+        np.testing.assert_array_equal(model.linear, [2.5, -2.5])
+
+    def test_from_matrices_symmetrizes(self):
+        quad = np.array([[0.0, 4.0], [0.0, 0.0]])
+        model = QuboModel.from_matrices(quad)
+        assert model.quadratic[0, 1] == model.quadratic[1, 0] == 2.0
+
+    def test_energy_by_hand(self):
+        # E(x) = 2 x0 x1 - x0 + 3 x1 + 1 at x = (1, 1) is 2 - 1 + 3 + 1 = 5.
+        model = QuboModel(
+            np.array([[0.0, 1.0], [1.0, 0.0]]), np.array([-1.0, 3.0]), offset=1.0
+        )
+        assert model.energy([1, 1]) == pytest.approx(5.0)
+
+    def test_num_variables(self):
+        assert random_qubo(5, rng=0).num_variables == 5
+
+    def test_scaled(self):
+        model = random_qubo(4, rng=1)
+        doubled = model.scaled(2.0)
+        x = [1, 0, 1, 1]
+        assert doubled.energy(x) == pytest.approx(2.0 * model.energy(x))
+
+
+class TestIsingModel:
+    def test_rejects_nonzero_diagonal(self):
+        with pytest.raises(ValueError, match="diagonal"):
+            IsingModel(np.eye(2), np.zeros(2))
+
+    def test_energy_by_hand(self):
+        # H = -J s0 s1 - h0 s0 - h1 s1 with J=1, h=(1, -1):
+        # s = (+1, +1): -1 - 1 + 1 = -1.
+        model = IsingModel(np.array([[0.0, 1.0], [1.0, 0.0]]), np.array([1.0, -1.0]))
+        assert model.energy([1, 1]) == pytest.approx(-1.0)
+
+    def test_density_complete(self):
+        model = random_ising(6, rng=0, density=1.0)
+        assert model.density == pytest.approx(1.0)
+
+    def test_density_empty(self):
+        model = IsingModel(np.zeros((4, 4)), np.ones(4))
+        assert model.density == 0.0
+
+    def test_with_fields_shares_coupling(self):
+        model = random_ising(4, rng=2)
+        updated = model.with_fields(np.zeros(4))
+        assert updated.coupling is model.coupling
+        np.testing.assert_array_equal(updated.fields, np.zeros(4))
+
+
+class TestConversions:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_qubo_to_ising_preserves_energy(self, seed):
+        model = random_qubo(6, rng=seed)
+        ising = model.to_ising()
+        for x in all_binary_vectors(6):
+            spins = 2.0 * x - 1.0
+            assert ising.energy(spins) == pytest.approx(model.energy(x), abs=1e-9)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_ising_to_qubo_preserves_energy(self, seed):
+        model = random_ising(6, rng=seed)
+        qubo = model.to_qubo()
+        for x in all_binary_vectors(6):
+            spins = 2.0 * x - 1.0
+            assert qubo.energy(x) == pytest.approx(model.energy(spins), abs=1e-9)
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_is_identity(self, seed):
+        model = random_qubo(5, rng=seed)
+        back = model.to_ising().to_qubo()
+        np.testing.assert_allclose(back.quadratic, model.quadratic, atol=1e-9)
+        np.testing.assert_allclose(back.linear, model.linear, atol=1e-9)
+        assert back.offset == pytest.approx(model.offset, abs=1e-9)

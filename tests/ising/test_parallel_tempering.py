@@ -1,0 +1,81 @@
+"""Tests for parallel tempering (repro.ising.parallel_tempering)."""
+
+import numpy as np
+import pytest
+
+from repro.ising.exhaustive import brute_force_ground_state
+from repro.ising.parallel_tempering import (
+    geometric_beta_ladder,
+    parallel_tempering,
+)
+from tests.helpers import random_ising
+
+
+class TestLadder:
+    def test_endpoints(self):
+        ladder = geometric_beta_ladder(0.1, 10.0, 26)
+        assert ladder[0] == pytest.approx(0.1)
+        assert ladder[-1] == pytest.approx(10.0)
+        assert ladder.size == 26
+
+    def test_monotone(self):
+        ladder = geometric_beta_ladder(0.5, 8.0, 10)
+        assert np.all(np.diff(ladder) > 0)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            geometric_beta_ladder(0.0, 1.0, 5)
+        with pytest.raises(ValueError):
+            geometric_beta_ladder(2.0, 1.0, 5)
+        with pytest.raises(ValueError):
+            geometric_beta_ladder(0.1, 1.0, 1)
+
+
+class TestParallelTempering:
+    def test_result_shapes(self):
+        model = random_ising(8, rng=0)
+        result = parallel_tempering(model, num_sweeps=30, num_replicas=6, rng=0)
+        assert result.replica_samples.shape == (6, 8)
+        assert result.replica_energies.shape == (6,)
+        assert 0.0 <= result.swap_acceptance <= 1.0
+
+    def test_best_energy_consistent(self):
+        model = random_ising(8, rng=1)
+        result = parallel_tempering(model, num_sweeps=50, num_replicas=6, rng=0)
+        assert result.best_energy == pytest.approx(
+            model.energy(result.best_sample), abs=1e-6
+        )
+
+    def test_best_not_worse_than_replicas(self):
+        model = random_ising(8, rng=2)
+        result = parallel_tempering(model, num_sweeps=50, num_replicas=6, rng=1)
+        assert result.best_energy <= result.replica_energies.min() + 1e-9
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_finds_ground_state(self, seed):
+        model = random_ising(10, rng=seed)
+        _, ground = brute_force_ground_state(model)
+        result = parallel_tempering(
+            model, num_sweeps=300, num_replicas=8, beta_min=0.2, beta_max=8.0,
+            rng=seed,
+        )
+        assert result.best_energy == pytest.approx(ground, abs=1e-9)
+
+    def test_swaps_happen(self):
+        model = random_ising(8, rng=3)
+        result = parallel_tempering(model, num_sweeps=100, num_replicas=8, rng=2)
+        assert result.swap_acceptance > 0.0
+
+    def test_rejects_bad_arguments(self):
+        model = random_ising(4, rng=0)
+        with pytest.raises(ValueError):
+            parallel_tempering(model, num_sweeps=0)
+        with pytest.raises(ValueError):
+            parallel_tempering(model, num_sweeps=10, swap_interval=0)
+
+    def test_deterministic_given_seed(self):
+        model = random_ising(6, rng=4)
+        a = parallel_tempering(model, num_sweeps=40, num_replicas=5, rng=7)
+        b = parallel_tempering(model, num_sweeps=40, num_replicas=5, rng=7)
+        assert a.best_energy == b.best_energy
+        np.testing.assert_array_equal(a.best_sample, b.best_sample)

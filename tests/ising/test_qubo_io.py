@@ -1,0 +1,88 @@
+"""Tests for qbsolv-format QUBO I/O (repro.ising.qubo_io)."""
+
+import numpy as np
+import pytest
+
+from repro.ising.qubo_io import read_qubo, write_qubo
+from tests.helpers import all_binary_vectors, random_qubo
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_energies_preserved(self, tmp_path, seed):
+        model = random_qubo(7, rng=seed)
+        path = tmp_path / "model.qubo"
+        write_qubo(model, path)
+        loaded = read_qubo(path)
+        for x in all_binary_vectors(7)[:32]:
+            assert loaded.energy(x) == pytest.approx(model.energy(x), abs=1e-9)
+
+    def test_exact_matrices(self, tmp_path):
+        model = random_qubo(5, rng=10)
+        path = tmp_path / "m.qubo"
+        write_qubo(model, path)
+        loaded = read_qubo(path)
+        np.testing.assert_allclose(loaded.quadratic, model.quadratic, atol=1e-12)
+        np.testing.assert_allclose(loaded.linear, model.linear, atol=1e-12)
+        assert loaded.offset == pytest.approx(model.offset)
+
+    def test_comment_written(self, tmp_path):
+        model = random_qubo(3, rng=0)
+        path = tmp_path / "c.qubo"
+        write_qubo(model, path, comment="penalized QKP\nP = 2dN")
+        text = path.read_text()
+        assert "c penalized QKP" in text
+        assert "c P = 2dN" in text
+
+    def test_penalized_problem_roundtrip(self, tmp_path):
+        """End-to-end: the QUBO SAIM would ship to external hardware."""
+        from repro.core.encoding import encode_with_slacks, normalize_problem
+        from repro.core.penalty import build_penalty_qubo
+        from repro.problems.generators import generate_qkp
+
+        instance = generate_qkp(8, 0.5, rng=3)
+        encoded = encode_with_slacks(instance.to_problem())
+        normalized, _ = normalize_problem(encoded.problem)
+        qubo = build_penalty_qubo(normalized, 5.0)
+        path = tmp_path / "qkp.qubo"
+        write_qubo(qubo, path)
+        loaded = read_qubo(path)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            x = (rng.uniform(0, 1, qubo.num_variables) < 0.5).astype(np.int8)
+            assert loaded.energy(x) == pytest.approx(qubo.energy(x), abs=1e-9)
+
+
+class TestReader:
+    def test_plain_qbsolv_file_without_offset(self, tmp_path):
+        path = tmp_path / "plain.qubo"
+        path.write_text("p qubo 0 2 1 1\n0 0 -1.5\n0 1 2.0\n")
+        model = read_qubo(path)
+        assert model.offset == 0.0
+        assert model.linear[0] == -1.5
+        # Coupler 2.0 splits across the symmetric triangles.
+        assert model.quadratic[0, 1] == 1.0
+
+    def test_duplicate_entries_accumulate(self, tmp_path):
+        path = tmp_path / "dup.qubo"
+        path.write_text("p qubo 0 2 2 0\n0 0 1.0\n0 0 2.0\n")
+        model = read_qubo(path)
+        assert model.linear[0] == 3.0
+
+    def test_missing_problem_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.qubo"
+        path.write_text("c just a comment\n")
+        with pytest.raises(ValueError, match="no problem line"):
+            read_qubo(path)
+
+    def test_data_before_problem_line_rejected(self, tmp_path):
+        path = tmp_path / "early.qubo"
+        path.write_text("0 0 1.0\np qubo 0 1 1 0\n")
+        with pytest.raises(ValueError, match="before problem line"):
+            read_qubo(path)
+
+    def test_out_of_range_index_rejected(self, tmp_path):
+        path = tmp_path / "range.qubo"
+        path.write_text("p qubo 0 2 0 1\n0 5 1.0\n")
+        with pytest.raises(ValueError, match="out of range"):
+            read_qubo(path)

@@ -1,0 +1,120 @@
+"""Tests for sparse models and chromatic Gibbs (repro.ising.sparse)."""
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+from repro.core.schedule import linear_beta_schedule
+from repro.ising.exhaustive import brute_force_ground_state
+from repro.ising.sparse import (
+    ChromaticPBitMachine,
+    SparseIsingModel,
+    greedy_coloring,
+    random_sparse_ising,
+)
+from tests.helpers import random_ising
+
+
+class TestSparseIsingModel:
+    def test_from_dense_energy_agrees(self):
+        dense = random_ising(10, rng=0, density=0.3)
+        sparse_model = SparseIsingModel.from_dense(dense)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            spins = rng.choice([-1.0, 1.0], size=10)
+            assert sparse_model.energy(spins) == pytest.approx(dense.energy(spins))
+
+    def test_rejects_asymmetric(self):
+        bad = sp.csr_matrix(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        with pytest.raises(ValueError, match="symmetric"):
+            SparseIsingModel(bad, np.zeros(2))
+
+    def test_rejects_diagonal(self):
+        bad = sp.csr_matrix(np.eye(3))
+        with pytest.raises(ValueError, match="diagonal"):
+            SparseIsingModel(bad, np.zeros(3))
+
+    def test_graph_structure(self):
+        model = random_sparse_ising(20, degree=3, rng=0)
+        graph = model.to_graph()
+        assert graph.number_of_nodes() == 20
+        degrees = [d for _, d in graph.degree()]
+        assert max(degrees) <= 20
+        assert graph.number_of_edges() == model.coupling.nnz // 2
+
+
+class TestColoring:
+    def test_color_classes_are_independent_sets(self):
+        model = random_sparse_ising(30, degree=4, rng=1)
+        classes = greedy_coloring(model)
+        coupling = model.coupling.toarray()
+        for cls in classes:
+            block = coupling[np.ix_(cls, cls)]
+            assert np.all(block == 0)
+
+    def test_classes_partition_spins(self):
+        model = random_sparse_ising(26, degree=3, rng=2)
+        classes = greedy_coloring(model)
+        combined = np.sort(np.concatenate(classes))
+        np.testing.assert_array_equal(combined, np.arange(26))
+
+    def test_odd_degree_product_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            random_sparse_ising(25, degree=3, rng=0)
+
+    def test_sparse_graph_needs_few_colors(self):
+        model = random_sparse_ising(50, degree=3, rng=3)
+        # Greedy coloring of a 3-regular graph uses at most 4 colors.
+        assert len(greedy_coloring(model)) <= 4
+
+
+class TestChromaticPBitMachine:
+    def test_finds_ground_state_on_small_sparse_model(self):
+        dense = random_ising(10, rng=4, density=0.3)
+        _, ground = brute_force_ground_state(dense)
+        machine = ChromaticPBitMachine(SparseIsingModel.from_dense(dense), rng=0)
+        best = min(
+            machine.anneal(linear_beta_schedule(8.0, 300)).best_energy
+            for _ in range(5)
+        )
+        assert best == pytest.approx(ground, abs=1e-9)
+
+    def test_energy_consistency(self):
+        model = random_sparse_ising(20, degree=3, rng=5)
+        machine = ChromaticPBitMachine(model, rng=0)
+        result = machine.anneal(linear_beta_schedule(4.0, 80))
+        assert result.last_energy == pytest.approx(
+            model.energy(result.last_sample), abs=1e-9
+        )
+        assert result.best_energy <= result.last_energy + 1e-9
+
+    def test_num_colors_property(self):
+        model = random_sparse_ising(30, degree=3, rng=6)
+        machine = ChromaticPBitMachine(model, rng=0)
+        assert machine.num_colors == len(greedy_coloring(model))
+        assert machine.num_spins == 30
+
+    def test_rejects_empty_schedule(self):
+        machine = ChromaticPBitMachine(random_sparse_ising(10, rng=7), rng=0)
+        with pytest.raises(ValueError):
+            machine.anneal(np.array([]))
+
+    def test_scales_to_large_sparse_models(self):
+        # 500 spins would be hopeless dense; sparse handles it in ms.
+        model = random_sparse_ising(500, degree=3, rng=8)
+        machine = ChromaticPBitMachine(model, rng=0)
+        result = machine.anneal(linear_beta_schedule(3.0, 20))
+        assert result.last_sample.shape == (500,)
+
+
+class TestRandomSparseIsing:
+    def test_degree_respected(self):
+        model = random_sparse_ising(40, degree=5, rng=9)
+        row_degrees = np.diff(model.coupling.indptr)
+        assert np.all(row_degrees == 5)
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            random_sparse_ising(10, degree=0)
+        with pytest.raises(ValueError):
+            random_sparse_ising(10, degree=10)

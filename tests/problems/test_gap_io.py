@@ -1,0 +1,46 @@
+"""Tests for GAP serialization (repro.problems.io)."""
+
+import numpy as np
+import pytest
+
+from repro.problems.gap import generate_gap
+from repro.problems.io import read_gap, write_gap
+
+
+class TestGapRoundtrip:
+    def test_roundtrip_exact(self, tmp_path):
+        instance = generate_gap(6, 3, rng=0, name="roundtrip-gap")
+        path = tmp_path / "instance.gap"
+        write_gap(instance, path)
+        loaded = read_gap(path)
+        assert loaded.name == "roundtrip-gap"
+        np.testing.assert_array_equal(loaded.costs, instance.costs)
+        np.testing.assert_array_equal(loaded.loads, instance.loads)
+        np.testing.assert_array_equal(loaded.capacities, instance.capacities)
+
+    def test_feasibility_agrees_after_roundtrip(self, tmp_path):
+        instance = generate_gap(5, 2, rng=1)
+        path = tmp_path / "i.gap"
+        write_gap(instance, path)
+        loaded = read_gap(path)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            x = (rng.uniform(0, 1, instance.num_variables) < 0.3).astype(np.int8)
+            assert loaded.is_feasible(x) == instance.is_feasible(x)
+
+    def test_single_agent(self, tmp_path):
+        instance = generate_gap(4, 1, rng=2)
+        path = tmp_path / "one.gap"
+        write_gap(instance, path)
+        loaded = read_gap(path)
+        assert loaded.num_agents == 1
+        np.testing.assert_array_equal(loaded.costs, instance.costs)
+
+    def test_nameless(self, tmp_path):
+        from repro.problems.gap import GapInstance
+
+        instance = GapInstance(np.ones((2, 2)), np.ones((2, 2)), np.array([5.0, 5.0]))
+        path = tmp_path / "bare.gap"
+        write_gap(instance, path)
+        loaded = read_gap(path)
+        assert loaded.name == ""

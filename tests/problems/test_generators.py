@@ -1,0 +1,111 @@
+"""Tests for repro.problems.generators (instance recipes)."""
+
+import numpy as np
+import pytest
+
+from repro.problems.generators import (
+    generate_mkp,
+    generate_qkp,
+    paper_mkp_instance,
+    paper_qkp_instance,
+)
+
+
+class TestGenerateQkp:
+    def test_value_and_weight_ranges(self):
+        instance = generate_qkp(50, 0.5, rng=0)
+        assert instance.values.min() >= 1 and instance.values.max() <= 100
+        assert instance.weights.min() >= 1 and instance.weights.max() <= 50
+        nonzero = instance.pair_values[instance.pair_values != 0]
+        assert nonzero.min() >= 1 and nonzero.max() <= 100
+
+    def test_density_is_respected(self):
+        instance = generate_qkp(80, 0.25, rng=1)
+        assert instance.density == pytest.approx(0.25, abs=0.05)
+
+    def test_capacity_below_total_weight(self):
+        instance = generate_qkp(50, 0.5, rng=2)
+        assert instance.capacity <= instance.weights.sum()
+        assert instance.capacity >= 1
+
+    def test_full_density(self):
+        instance = generate_qkp(20, 1.0, rng=3)
+        assert instance.density == pytest.approx(1.0)
+
+    def test_zero_density(self):
+        instance = generate_qkp(20, 0.0, rng=4)
+        assert np.all(instance.pair_values == 0)
+
+    def test_deterministic(self):
+        a = generate_qkp(10, 0.5, rng=7)
+        b = generate_qkp(10, 0.5, rng=7)
+        np.testing.assert_array_equal(a.pair_values, b.pair_values)
+        assert a.capacity == b.capacity
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            generate_qkp(0, 0.5)
+        with pytest.raises(ValueError):
+            generate_qkp(5, 1.5)
+
+
+class TestGenerateMkp:
+    def test_shapes(self):
+        instance = generate_mkp(30, 5, rng=0)
+        assert instance.num_items == 30
+        assert instance.num_constraints == 5
+
+    def test_capacity_tightness(self):
+        instance = generate_mkp(40, 3, tightness=0.5, rng=1)
+        ratios = instance.capacities / instance.weights.sum(axis=1)
+        np.testing.assert_allclose(ratios, 0.5, atol=0.01)
+
+    def test_values_correlated_with_weights(self):
+        # Chu-Beasley values are column sums / M + noise; the correlation
+        # between values and aggregate weights must be clearly positive.
+        instance = generate_mkp(200, 5, rng=2)
+        aggregate = instance.weights.sum(axis=0)
+        corr = np.corrcoef(aggregate, instance.values)[0, 1]
+        assert corr > 0.5
+
+    def test_deterministic(self):
+        a = generate_mkp(15, 2, rng=9)
+        b = generate_mkp(15, 2, rng=9)
+        np.testing.assert_array_equal(a.weights, b.weights)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            generate_mkp(0, 1)
+        with pytest.raises(ValueError):
+            generate_mkp(5, 0)
+        with pytest.raises(ValueError):
+            generate_mkp(5, 1, tightness=0.0)
+
+
+class TestPaperInstances:
+    def test_qkp_name_and_stability(self):
+        a = paper_qkp_instance(100, 25, 1)
+        b = paper_qkp_instance(100, 25, 1)
+        assert a.name == "100-25-1"
+        np.testing.assert_array_equal(a.pair_values, b.pair_values)
+        np.testing.assert_array_equal(a.weights, b.weights)
+
+    def test_qkp_different_indices_differ(self):
+        a = paper_qkp_instance(100, 25, 1)
+        b = paper_qkp_instance(100, 25, 2)
+        assert not np.array_equal(a.pair_values, b.pair_values)
+
+    def test_qkp_density_matches_name(self):
+        instance = paper_qkp_instance(100, 50, 3)
+        assert instance.density == pytest.approx(0.5, abs=0.08)
+
+    def test_mkp_name_and_stability(self):
+        a = paper_mkp_instance(100, 5, 8)
+        b = paper_mkp_instance(100, 5, 8)
+        assert a.name == "100-5-8"
+        np.testing.assert_array_equal(a.weights, b.weights)
+
+    def test_mkp_shape_follows_name(self):
+        instance = paper_mkp_instance(250, 10, 1)
+        assert instance.num_items == 250
+        assert instance.num_constraints == 10

@@ -1,0 +1,77 @@
+"""Tests for instance serialization (repro.problems.io)."""
+
+import numpy as np
+import pytest
+
+from repro.problems.generators import generate_mkp, generate_qkp
+from repro.problems.io import read_mkp, read_qkp, write_mkp, write_qkp
+
+
+class TestQkpRoundtrip:
+    def test_roundtrip_exact(self, tmp_path):
+        instance = generate_qkp(12, 0.5, rng=0, name="roundtrip-12")
+        path = tmp_path / "instance.qkp"
+        write_qkp(instance, path)
+        loaded = read_qkp(path)
+        assert loaded.name == "roundtrip-12"
+        np.testing.assert_array_equal(loaded.values, instance.values)
+        np.testing.assert_array_equal(loaded.pair_values, instance.pair_values)
+        np.testing.assert_array_equal(loaded.weights, instance.weights)
+        assert loaded.capacity == instance.capacity
+
+    def test_roundtrip_dense(self, tmp_path):
+        instance = generate_qkp(8, 1.0, rng=1)
+        path = tmp_path / "dense.qkp"
+        write_qkp(instance, path)
+        loaded = read_qkp(path)
+        np.testing.assert_array_equal(loaded.pair_values, instance.pair_values)
+
+    def test_costs_agree_after_roundtrip(self, tmp_path):
+        instance = generate_qkp(10, 0.4, rng=2)
+        path = tmp_path / "c.qkp"
+        write_qkp(instance, path)
+        loaded = read_qkp(path)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            x = (rng.uniform(0, 1, 10) < 0.5).astype(np.int8)
+            assert loaded.cost(x) == pytest.approx(instance.cost(x))
+
+    def test_rejects_unknown_constraint_type(self, tmp_path):
+        instance = generate_qkp(5, 0.5, rng=3)
+        path = tmp_path / "bad.qkp"
+        write_qkp(instance, path)
+        text = path.read_text().replace("\n0\n", "\n1\n")
+        path.write_text(text)
+        with pytest.raises(ValueError, match="constraint type"):
+            read_qkp(path)
+
+
+class TestMkpRoundtrip:
+    def test_roundtrip_exact(self, tmp_path):
+        instance = generate_mkp(15, 4, rng=0, name="roundtrip-mkp")
+        path = tmp_path / "instance.mkp"
+        write_mkp(instance, path, optimum=1234.0)
+        loaded, optimum = read_mkp(path)
+        assert optimum == 1234.0
+        assert loaded.name == "roundtrip-mkp"
+        np.testing.assert_array_equal(loaded.values, instance.values)
+        np.testing.assert_array_equal(loaded.weights, instance.weights)
+        np.testing.assert_array_equal(loaded.capacities, instance.capacities)
+
+    def test_unknown_optimum_defaults_to_zero(self, tmp_path):
+        instance = generate_mkp(6, 2, rng=1)
+        path = tmp_path / "i.mkp"
+        write_mkp(instance, path)
+        _, optimum = read_mkp(path)
+        assert optimum == 0.0
+
+    def test_nameless_instance(self, tmp_path):
+        instance = generate_mkp(6, 2, rng=2, name="")
+        # Generator assigns a default name; strip it to test the no-comment path.
+        from repro.problems.mkp import MkpInstance
+
+        bare = MkpInstance(instance.values, instance.weights, instance.capacities)
+        path = tmp_path / "bare.mkp"
+        write_mkp(bare, path)
+        loaded, _ = read_mkp(path)
+        np.testing.assert_array_equal(loaded.capacities, bare.capacities)

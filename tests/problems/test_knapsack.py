@@ -1,0 +1,81 @@
+"""Tests for repro.problems.knapsack (instance + exact DP)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.problems.knapsack import KnapsackInstance, knapsack_dp
+from tests.helpers import all_binary_vectors
+
+
+class TestKnapsackInstance:
+    def test_profit_and_feasibility(self):
+        instance = KnapsackInstance(
+            np.array([60.0, 100.0, 120.0]), np.array([10, 20, 30]), capacity=50
+        )
+        assert instance.profit([0, 1, 1]) == pytest.approx(220.0)
+        assert instance.is_feasible([0, 1, 1])
+        assert not instance.is_feasible([1, 1, 1])
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            KnapsackInstance(np.ones(2), np.array([0, 1]), 5)
+
+    def test_to_problem(self):
+        instance = KnapsackInstance(np.array([3.0, 5.0]), np.array([2, 4]), 4)
+        problem = instance.to_problem()
+        assert problem.objective([0, 1]) == pytest.approx(-5.0)
+        assert problem.is_feasible([0, 1])
+        assert not problem.is_feasible([1, 1])
+
+
+class TestKnapsackDp:
+    def test_classic_example(self):
+        instance = KnapsackInstance(
+            np.array([60.0, 100.0, 120.0]), np.array([10, 20, 30]), capacity=50
+        )
+        x, profit = knapsack_dp(instance)
+        assert profit == pytest.approx(220.0)
+        np.testing.assert_array_equal(x, [0, 1, 1])
+
+    def test_zero_capacity(self):
+        instance = KnapsackInstance(np.ones(3), np.array([1, 1, 1]), capacity=0)
+        x, profit = knapsack_dp(instance)
+        assert profit == 0.0
+        assert x.sum() == 0
+
+    def test_item_heavier_than_capacity_skipped(self):
+        instance = KnapsackInstance(
+            np.array([100.0, 1.0]), np.array([10, 1]), capacity=5
+        )
+        x, profit = knapsack_dp(instance)
+        assert profit == pytest.approx(1.0)
+        np.testing.assert_array_equal(x, [0, 1])
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 9))
+        instance = KnapsackInstance(
+            rng.integers(1, 50, size=n).astype(float),
+            rng.integers(1, 15, size=n),
+            capacity=int(rng.integers(0, 40)),
+        )
+        _, dp_profit = knapsack_dp(instance)
+        best = 0.0
+        for x in all_binary_vectors(n):
+            if instance.is_feasible(x):
+                best = max(best, instance.profit(x))
+        assert dp_profit == pytest.approx(best)
+
+    def test_solution_is_feasible(self):
+        rng = np.random.default_rng(7)
+        instance = KnapsackInstance(
+            rng.integers(1, 100, size=20).astype(float),
+            rng.integers(1, 20, size=20),
+            capacity=60,
+        )
+        x, profit = knapsack_dp(instance)
+        assert instance.is_feasible(x)
+        assert instance.profit(x) == pytest.approx(profit)

@@ -1,0 +1,57 @@
+"""Tests for repro.problems.maxcut."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import linear_beta_schedule
+from repro.ising.pbit import PBitMachine
+from repro.problems.maxcut import MaxCutInstance, random_maxcut
+
+
+class TestMaxCutInstance:
+    def test_cut_value_triangle(self):
+        adjacency = np.array(
+            [[0.0, 1.0, 1.0], [1.0, 0.0, 1.0], [1.0, 1.0, 0.0]]
+        )
+        instance = MaxCutInstance(adjacency)
+        # Best cut of a triangle is 2 edges.
+        assert instance.cut_value([1, 1, -1]) == pytest.approx(2.0)
+        assert instance.cut_value([1, 1, 1]) == 0.0
+
+    def test_energy_cut_identity(self):
+        """cut(s) == -H(s) must hold for every partition."""
+        instance = random_maxcut(7, edge_probability=0.6, rng=0)
+        model = instance.to_ising()
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            spins = rng.choice([-1.0, 1.0], size=7)
+            assert instance.cut_value(spins) == pytest.approx(-model.energy(spins))
+
+    def test_brute_force_max_cut(self):
+        instance = random_maxcut(8, rng=2)
+        spins, cut = instance.brute_force_max_cut()
+        assert cut == pytest.approx(instance.cut_value(spins))
+        # No single vertex move can improve a global optimum.
+        for i in range(8):
+            flipped = spins.copy()
+            flipped[i] = -flipped[i]
+            assert instance.cut_value(flipped) <= cut + 1e-9
+
+    def test_pbit_machine_solves_maxcut(self):
+        """End-to-end substrate check: the p-bit IM finds a maximum cut."""
+        instance = random_maxcut(10, rng=3)
+        _, best_cut = instance.brute_force_max_cut()
+        machine = PBitMachine(instance.to_ising(), rng=0)
+        result = machine.anneal(linear_beta_schedule(6.0, 300))
+        assert instance.cut_value(result.best_sample) == pytest.approx(best_cut)
+
+    def test_rejects_diagonal(self):
+        with pytest.raises(ValueError):
+            MaxCutInstance(np.eye(3))
+
+    def test_random_generator_bounds(self):
+        instance = random_maxcut(12, edge_probability=0.3, weight_high=5, rng=4)
+        assert instance.num_vertices == 12
+        assert instance.adjacency.max() <= 5
+        with pytest.raises(ValueError):
+            random_maxcut(5, edge_probability=1.5)

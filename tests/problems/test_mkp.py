@@ -1,0 +1,73 @@
+"""Tests for repro.problems.mkp."""
+
+import numpy as np
+import pytest
+
+from repro.problems.generators import generate_mkp
+from repro.problems.mkp import MkpInstance
+
+
+def small_instance() -> MkpInstance:
+    return MkpInstance(
+        values=np.array([10.0, 20.0, 15.0]),
+        weights=np.array([[1.0, 2.0, 3.0], [3.0, 2.0, 1.0]]),
+        capacities=np.array([4.0, 4.0]),
+        name="tiny-mkp",
+    )
+
+
+class TestMkpInstance:
+    def test_profit(self):
+        assert small_instance().profit([1, 1, 0]) == pytest.approx(30.0)
+
+    def test_cost_is_negative_profit(self):
+        instance = small_instance()
+        assert instance.cost([0, 1, 1]) == pytest.approx(-35.0)
+
+    def test_loads(self):
+        np.testing.assert_allclose(small_instance().loads([1, 0, 1]), [4.0, 4.0])
+
+    def test_feasibility_requires_all_constraints(self):
+        instance = small_instance()
+        assert instance.is_feasible([1, 0, 1])  # loads (4, 4)
+        assert not instance.is_feasible([1, 1, 1])  # loads (6, 6)
+        assert not instance.is_feasible([0, 1, 1])  # loads (5, 3): first violated
+
+    def test_counts(self):
+        instance = small_instance()
+        assert instance.num_items == 3
+        assert instance.num_constraints == 2
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            MkpInstance(np.array([-1.0]), np.ones((1, 1)), np.ones(1))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MkpInstance(np.ones(3), np.ones((2, 2)), np.ones(2))
+
+
+class TestToProblem:
+    def test_objective_matches(self):
+        instance = generate_mkp(12, 3, rng=0)
+        problem = instance.to_problem()
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            x = (rng.uniform(0, 1, 12) < 0.5).astype(np.int8)
+            assert problem.objective(x) == pytest.approx(instance.cost(x))
+
+    def test_feasibility_matches(self):
+        instance = generate_mkp(12, 3, rng=2)
+        problem = instance.to_problem()
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            x = (rng.uniform(0, 1, 12) < 0.5).astype(np.int8)
+            assert problem.is_feasible(x) == instance.is_feasible(x)
+
+    def test_constraint_count(self):
+        problem = generate_mkp(8, 4, rng=4).to_problem()
+        assert problem.inequalities.num_constraints == 4
+
+    def test_objective_is_linear(self):
+        problem = generate_mkp(6, 2, rng=5).to_problem()
+        assert np.all(problem.quadratic == 0)

@@ -1,0 +1,83 @@
+"""Tests for repro.problems.qkp."""
+
+import numpy as np
+import pytest
+
+from repro.problems.generators import generate_qkp
+from repro.problems.qkp import QkpInstance
+
+
+def small_instance() -> QkpInstance:
+    """4-item instance with hand-checkable numbers (cf. paper Fig. 3a)."""
+    values = np.array([6.0, 15.0, 12.0, 28.0])
+    pair = np.zeros((4, 4))
+    pair[0, 1] = pair[1, 0] = 64.0
+    pair[1, 2] = pair[2, 1] = 21.0
+    pair[2, 3] = pair[3, 2] = 34.0
+    weights = np.array([10.5, 25.6, 8.25, 2.4])
+    return QkpInstance(values, pair, weights, capacity=42.0, name="fig3a")
+
+
+class TestQkpInstance:
+    def test_profit_by_hand(self):
+        instance = small_instance()
+        # Items 0 and 1: 6 + 15 + pair(0,1) = 85.
+        assert instance.profit([1, 1, 0, 0]) == pytest.approx(85.0)
+
+    def test_cost_is_negative_profit(self):
+        instance = small_instance()
+        x = [1, 0, 1, 1]
+        assert instance.cost(x) == pytest.approx(-instance.profit(x))
+
+    def test_feasibility(self):
+        instance = small_instance()
+        assert instance.is_feasible([1, 1, 0, 0])  # 36.1 kg <= 42
+        assert not instance.is_feasible([1, 1, 1, 0])  # 44.35 kg
+
+    def test_total_weight(self):
+        instance = small_instance()
+        assert instance.total_weight([0, 1, 0, 1]) == pytest.approx(28.0)
+
+    def test_empty_selection(self):
+        instance = small_instance()
+        assert instance.profit([0, 0, 0, 0]) == 0.0
+        assert instance.is_feasible([0, 0, 0, 0])
+
+    def test_density(self):
+        # 3 pairs present out of 6.
+        assert small_instance().density == pytest.approx(0.5)
+
+    def test_rejects_nonzero_diagonal(self):
+        with pytest.raises(ValueError, match="diagonal"):
+            QkpInstance(np.ones(2), np.eye(2), np.ones(2), 1.0)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError, match="positive"):
+            QkpInstance(np.ones(2), np.zeros((2, 2)), np.array([1.0, -1.0]), 1.0)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            QkpInstance(np.ones(3), np.zeros((2, 2)), np.ones(3), 1.0)
+
+
+class TestToProblem:
+    def test_objective_matches_cost(self):
+        instance = generate_qkp(10, 0.5, rng=0)
+        problem = instance.to_problem()
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            x = (rng.uniform(0, 1, 10) < 0.5).astype(np.int8)
+            assert problem.objective(x) == pytest.approx(instance.cost(x))
+
+    def test_feasibility_matches(self):
+        instance = generate_qkp(10, 0.5, rng=2)
+        problem = instance.to_problem()
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            x = (rng.uniform(0, 1, 10) < 0.5).astype(np.int8)
+            assert problem.is_feasible(x) == instance.is_feasible(x)
+
+    def test_single_inequality(self):
+        problem = generate_qkp(6, 0.5, rng=4).to_problem()
+        assert problem.inequalities.num_constraints == 1
+        assert problem.equalities.num_constraints == 0

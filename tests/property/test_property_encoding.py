@@ -1,0 +1,150 @@
+"""Property-based tests on slack encoding, penalty and Lagrangian builders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.encoding import encode_with_slacks, normalize_problem
+from repro.core.lagrangian import LagrangianIsing
+from repro.core.penalty import build_penalty_qubo
+from repro.core.problem import ConstrainedProblem, LinearConstraints
+from repro.utils.binary import binary_weights
+
+seeds = st.integers(min_value=0, max_value=10**6)
+
+
+@st.composite
+def random_knapsack_problem(draw):
+    """Random small knapsack-shaped constrained problem."""
+    seed = draw(seeds)
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 8))
+    m = int(rng.integers(1, 4))
+    values = rng.integers(1, 50, size=n).astype(float)
+    weights = rng.integers(1, 20, size=(m, n)).astype(float)
+    capacities = np.ceil(weights.sum(axis=1) * rng.uniform(0.3, 0.9, size=m))
+    return ConstrainedProblem(
+        quadratic=np.zeros((n, n)),
+        linear=-values,
+        inequalities=LinearConstraints(weights, capacities),
+    )
+
+
+class TestEncodingProperties:
+    @given(random_knapsack_problem())
+    @settings(max_examples=40, deadline=None)
+    def test_feasibility_equivalence(self, problem):
+        """x feasible originally <=> exists slack assignment making the
+        encoded equality hold — checked via the constructive slack choice."""
+        encoded = encode_with_slacks(problem)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            x = (rng.uniform(0, 1, problem.num_variables) < 0.5).astype(np.int8)
+            residuals = problem.inequalities.residuals(x)
+            if np.all(residuals <= 0):
+                # Construct the slack bits for each row: slack = b - a^T x.
+                bits = []
+                for row, slc in enumerate(encoded.slack_slices):
+                    need = int(round(-residuals[row]))
+                    width = slc.stop - slc.start
+                    row_bits = [(need >> q) & 1 for q in range(width)]
+                    # need <= b <= sum(weights) so it always fits.
+                    assert sum(b * (2**q) for q, b in enumerate(row_bits)) == need
+                    bits.extend(row_bits)
+                x_ext = np.concatenate([x, np.array(bits, dtype=np.int8)])
+                assert encoded.problem.is_feasible(x_ext)
+
+    @given(random_knapsack_problem())
+    @settings(max_examples=40, deadline=None)
+    def test_restrict_preserves_objective(self, problem):
+        encoded = encode_with_slacks(problem)
+        rng = np.random.default_rng(1)
+        x_ext = (
+            rng.uniform(0, 1, encoded.problem.num_variables) < 0.5
+        ).astype(np.int8)
+        x = encoded.restrict(x_ext)
+        assert encoded.problem.objective(x_ext) == pytest.approx(
+            problem.objective(x)
+        )
+
+    @given(random_knapsack_problem())
+    @settings(max_examples=40, deadline=None)
+    def test_normalization_bounds(self, problem):
+        encoded = encode_with_slacks(problem)
+        normalized, scales = normalize_problem(encoded.problem)
+        assert np.max(np.abs(normalized.linear)) <= 1.0 + 1e-9
+        assert np.max(np.abs(normalized.equalities.coefficients)) <= 1.0 + 1e-9
+        assert scales.objective_scale > 0
+
+
+class TestPenaltyProperties:
+    @given(random_knapsack_problem(), st.floats(min_value=0.01, max_value=100))
+    @settings(max_examples=40, deadline=None)
+    def test_penalty_energy_identity(self, problem, penalty):
+        """E(x) = f(x) + P ||g(x)||^2 for random x."""
+        encoded = encode_with_slacks(problem)
+        qubo = build_penalty_qubo(encoded.problem, penalty)
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            x = (
+                rng.uniform(0, 1, encoded.problem.num_variables) < 0.5
+            ).astype(np.int8)
+            residual = encoded.problem.equalities.residuals(x)
+            expected = encoded.problem.objective(x) + penalty * float(
+                residual @ residual
+            )
+            assert qubo.energy(x) == pytest.approx(expected, rel=1e-9, abs=1e-7)
+
+    @given(random_knapsack_problem(), st.floats(min_value=0.01, max_value=100))
+    @settings(max_examples=40, deadline=None)
+    def test_penalty_vanishes_iff_feasible(self, problem, penalty):
+        """E(x) == f(x) exactly when the encoded x satisfies g(x) = 0."""
+        encoded = encode_with_slacks(problem)
+        qubo = build_penalty_qubo(encoded.problem, penalty)
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            x = (
+                rng.uniform(0, 1, encoded.problem.num_variables) < 0.5
+            ).astype(np.int8)
+            gap = qubo.energy(x) - encoded.problem.objective(x)
+            if encoded.problem.is_feasible(x):
+                assert gap == pytest.approx(0.0, abs=1e-7)
+            else:
+                assert gap > 0
+
+
+class TestLagrangianProperties:
+    @given(random_knapsack_problem(), st.floats(min_value=-10, max_value=10))
+    @settings(max_examples=40, deadline=None)
+    def test_lambda_shift_is_linear_in_residual(self, problem, lam):
+        """L(x, lambda) - L(x, 0) == lambda^T g(x) for every x."""
+        encoded = encode_with_slacks(problem)
+        lag = LagrangianIsing(encoded.problem, penalty=1.0)
+        m = lag.num_multipliers
+        lambdas = np.full(m, lam)
+        rng = np.random.default_rng(4)
+        for _ in range(5):
+            x = (
+                rng.uniform(0, 1, encoded.problem.num_variables) < 0.5
+            ).astype(np.int8)
+            shift = lag.energy(x, lambdas) - lag.energy(x, np.zeros(m))
+            expected = float(lambdas @ lag.residuals(x))
+            assert shift == pytest.approx(expected, rel=1e-9, abs=1e-7)
+
+    @given(random_knapsack_problem())
+    @settings(max_examples=30, deadline=None)
+    def test_ising_view_consistency(self, problem):
+        """The reprogrammed Ising model agrees with direct evaluation."""
+        encoded = encode_with_slacks(problem)
+        normalized, _ = normalize_problem(encoded.problem)
+        lag = LagrangianIsing(normalized, penalty=2.0)
+        rng = np.random.default_rng(5)
+        lambdas = rng.uniform(-3, 3, size=lag.num_multipliers)
+        model = lag.ising_for(lambdas)
+        for _ in range(5):
+            x = (
+                rng.uniform(0, 1, normalized.num_variables) < 0.5
+            ).astype(np.int8)
+            assert model.energy(2.0 * x - 1.0) == pytest.approx(
+                lag.energy(x, lambdas), rel=1e-9, abs=1e-7
+            )

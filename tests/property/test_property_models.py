@@ -1,0 +1,95 @@
+"""Property-based tests on the Ising/QUBO model layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ising.energy import input_fields, ising_energy
+from repro.ising.model import IsingModel, QuboModel
+from tests.helpers import random_ising, random_qubo
+
+sizes = st.integers(min_value=1, max_value=10)
+seeds = st.integers(min_value=0, max_value=10**6)
+
+
+@st.composite
+def qubo_and_x(draw):
+    n = draw(sizes)
+    seed = draw(seeds)
+    rng = np.random.default_rng(seed)
+    model = random_qubo(n, rng=rng)
+    x = (rng.uniform(0, 1, size=n) < 0.5).astype(np.int8)
+    return model, x
+
+
+@st.composite
+def ising_and_spins(draw):
+    n = draw(sizes)
+    seed = draw(seeds)
+    rng = np.random.default_rng(seed)
+    model = random_ising(n, rng=rng)
+    spins = rng.choice([-1.0, 1.0], size=n)
+    return model, spins
+
+
+class TestConversionProperties:
+    @given(qubo_and_x())
+    @settings(max_examples=60, deadline=None)
+    def test_qubo_ising_energy_equality(self, pair):
+        """E_qubo(x) == H_ising(2x - 1) for every x (exact mapping)."""
+        model, x = pair
+        assert model.to_ising().energy(2.0 * x - 1.0) == pytest.approx(
+            model.energy(x), rel=1e-9, abs=1e-9
+        )
+
+    @given(ising_and_spins())
+    @settings(max_examples=60, deadline=None)
+    def test_ising_qubo_energy_equality(self, pair):
+        model, spins = pair
+        x = ((spins + 1) / 2).astype(np.int8)
+        assert model.to_qubo().energy(x) == pytest.approx(
+            model.energy(spins), rel=1e-9, abs=1e-9
+        )
+
+    @given(seeds, sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_double_roundtrip_fixed_point(self, seed, n):
+        model = random_qubo(n, rng=seed)
+        once = model.to_ising().to_qubo()
+        twice = once.to_ising().to_qubo()
+        np.testing.assert_allclose(once.quadratic, twice.quadratic, atol=1e-9)
+        np.testing.assert_allclose(once.linear, twice.linear, atol=1e-9)
+
+
+class TestEnergyProperties:
+    @given(ising_and_spins())
+    @settings(max_examples=60, deadline=None)
+    def test_global_spin_flip_with_zero_fields(self, pair):
+        """H(s) == H(-s) when h = 0 (Z2 symmetry of the Ising model)."""
+        model, spins = pair
+        symmetric = IsingModel(model.coupling, np.zeros(model.num_spins))
+        assert ising_energy(symmetric, spins) == pytest.approx(
+            ising_energy(symmetric, -spins), rel=1e-9, abs=1e-9
+        )
+
+    @given(ising_and_spins())
+    @settings(max_examples=60, deadline=None)
+    def test_flip_delta_antisymmetry(self, pair):
+        """Flipping twice returns the original energy."""
+        model, spins = pair
+        i = 0
+        fields = input_fields(model, spins)
+        delta_forward = 2.0 * spins[i] * fields[i]
+        flipped = spins.copy()
+        flipped[i] = -flipped[i]
+        fields_after = input_fields(model, flipped)
+        delta_back = 2.0 * flipped[i] * fields_after[i]
+        assert delta_forward == pytest.approx(-delta_back, rel=1e-9, abs=1e-9)
+
+    @given(qubo_and_x(), st.floats(min_value=0.1, max_value=10))
+    @settings(max_examples=40, deadline=None)
+    def test_scaling_scales_energy(self, pair, factor):
+        model, x = pair
+        assert model.scaled(factor).energy(x) == pytest.approx(
+            factor * model.energy(x), rel=1e-9, abs=1e-9
+        )

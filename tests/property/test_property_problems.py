@@ -1,0 +1,124 @@
+"""Property-based tests on the problem families and their invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.greedy import repair_mkp, repair_qkp
+from repro.problems.generators import generate_mkp, generate_qkp
+from repro.problems.knapsack import KnapsackInstance, knapsack_dp
+
+seeds = st.integers(min_value=0, max_value=10**6)
+
+
+class TestQkpInvariants:
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_profit_monotone_under_item_addition(self, seed):
+        """Adding an item never decreases QKP profit (all values >= 0)."""
+        rng = np.random.default_rng(seed)
+        instance = generate_qkp(12, 0.5, rng=seed)
+        x = (rng.uniform(0, 1, 12) < 0.4).astype(np.int8)
+        zeros = np.nonzero(x == 0)[0]
+        if zeros.size:
+            grown = x.copy()
+            grown[zeros[0]] = 1
+            assert instance.profit(grown) >= instance.profit(x)
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_cost_profit_duality(self, seed):
+        rng = np.random.default_rng(seed)
+        instance = generate_qkp(10, 0.5, rng=seed)
+        x = (rng.uniform(0, 1, 10) < 0.5).astype(np.int8)
+        assert instance.cost(x) == pytest.approx(-instance.profit(x))
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_to_problem_agrees_everywhere(self, seed):
+        rng = np.random.default_rng(seed)
+        instance = generate_qkp(10, 0.5, rng=seed)
+        problem = instance.to_problem()
+        x = (rng.uniform(0, 1, 10) < 0.5).astype(np.int8)
+        assert problem.objective(x) == pytest.approx(instance.cost(x))
+        assert problem.is_feasible(x) == instance.is_feasible(x)
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_repair_produces_feasible_subset(self, seed):
+        rng = np.random.default_rng(seed)
+        instance = generate_qkp(15, 0.5, rng=seed)
+        raw = (rng.uniform(0, 1, 15) < 0.9).astype(np.int8)
+        repaired = repair_qkp(instance, raw)
+        assert instance.is_feasible(repaired)
+        assert np.all(repaired <= raw)
+
+
+class TestMkpInvariants:
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_feasibility_antitone_under_item_addition(self, seed):
+        """Removing an item never breaks MKP feasibility."""
+        rng = np.random.default_rng(seed)
+        instance = generate_mkp(12, 3, rng=seed)
+        x = (rng.uniform(0, 1, 12) < 0.5).astype(np.int8)
+        if instance.is_feasible(x):
+            ones = np.nonzero(x)[0]
+            if ones.size:
+                smaller = x.copy()
+                smaller[ones[0]] = 0
+                assert instance.is_feasible(smaller)
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_loads_are_additive(self, seed):
+        rng = np.random.default_rng(seed)
+        instance = generate_mkp(10, 3, rng=seed)
+        x = (rng.uniform(0, 1, 10) < 0.5).astype(np.int8)
+        expected = sum(
+            instance.weights[:, i] for i in np.nonzero(x)[0]
+        ) if x.any() else np.zeros(3)
+        np.testing.assert_allclose(instance.loads(x), expected)
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_repair_is_idempotent(self, seed):
+        rng = np.random.default_rng(seed)
+        instance = generate_mkp(12, 3, rng=seed)
+        raw = (rng.uniform(0, 1, 12) < 0.8).astype(np.int8)
+        once = repair_mkp(instance, raw)
+        twice = repair_mkp(instance, once)
+        np.testing.assert_array_equal(once, twice)
+
+
+class TestKnapsackDpProperties:
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_dp_profit_never_below_greedy_single_item(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 12))
+        instance = KnapsackInstance(
+            rng.integers(1, 100, size=n).astype(float),
+            rng.integers(1, 20, size=n),
+            capacity=int(rng.integers(1, 60)),
+        )
+        _, dp = knapsack_dp(instance)
+        fitting = [
+            instance.values[i]
+            for i in range(n)
+            if instance.weights[i] <= instance.capacity
+        ]
+        best_single = max(fitting) if fitting else 0.0
+        assert dp >= best_single - 1e-9
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_dp_monotone_in_capacity(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 10))
+        values = rng.integers(1, 100, size=n).astype(float)
+        weights = rng.integers(1, 20, size=n)
+        cap = int(rng.integers(1, 50))
+        _, small = knapsack_dp(KnapsackInstance(values, weights, cap))
+        _, large = knapsack_dp(KnapsackInstance(values, weights, cap + 5))
+        assert large >= small - 1e-9

@@ -1,0 +1,66 @@
+"""Tests for repro.utils.binary (slack decomposition arithmetic)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.binary import (
+    binary_decomposition_width,
+    binary_weights,
+    decompose_integer,
+    recompose_integer,
+)
+
+
+class TestWidth:
+    def test_zero_bound_needs_no_bits(self):
+        assert binary_decomposition_width(0) == 0
+
+    def test_one(self):
+        assert binary_decomposition_width(1) == 1
+
+    @pytest.mark.parametrize(
+        "bound,expected",
+        [(2, 2), (3, 2), (4, 3), (7, 3), (8, 4), (42, 6), (1023, 10), (1024, 11)],
+    )
+    def test_paper_rule(self, bound, expected):
+        # Q = floor(log2(b)) + 1 per Section IV-A
+        assert binary_decomposition_width(bound) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            binary_decomposition_width(-1)
+
+
+class TestWeights:
+    def test_powers_of_two(self):
+        np.testing.assert_array_equal(binary_weights(5), [1, 2, 4])
+
+    def test_zero_bound_gives_empty(self):
+        assert binary_weights(0).size == 0
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_weights_cover_bound(self, bound):
+        # The encoding must be able to represent every slack value up to bound.
+        assert binary_weights(bound).sum() >= bound
+
+
+class TestDecompose:
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_roundtrip(self, value):
+        bits = decompose_integer(value, 16)
+        assert recompose_integer(bits) == value
+
+    def test_exact_width_required(self):
+        with pytest.raises(ValueError):
+            decompose_integer(8, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            decompose_integer(-1, 4)
+
+    def test_empty_bits_are_zero(self):
+        assert recompose_integer(np.array([])) == 0
+
+    def test_lsb_first(self):
+        np.testing.assert_array_equal(decompose_integer(6, 3), [0, 1, 1])

@@ -1,0 +1,71 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=10)
+        b = ensure_rng(42).integers(0, 1000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 10**9)
+        b = ensure_rng(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        gen = ensure_rng(seq)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_numpy_integer_seed(self):
+        a = ensure_rng(np.int64(5)).integers(0, 1000)
+        b = ensure_rng(5).integers(0, 1000)
+        assert a == b
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            ensure_rng(1.5)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_streams_are_independent(self):
+        streams = spawn_rngs(3, 4)
+        draws = [g.integers(0, 10**9) for g in streams]
+        assert len(set(draws)) == len(draws)
+
+    def test_deterministic_from_seed(self):
+        a = [g.integers(0, 10**9) for g in spawn_rngs(9, 3)]
+        b = [g.integers(0, 10**9) for g in spawn_rngs(9, 3)]
+        assert a == b
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(0)
+        streams = spawn_rngs(gen, 3)
+        assert len(streams) == 3
+        assert all(isinstance(s, np.random.Generator) for s in streams)
