@@ -11,11 +11,10 @@ from dataclasses import replace
 
 import numpy as np
 
+import repro
 from repro.analysis.experiments import current_scale, qkp_saim_config
 from repro.analysis.tables import format_percent, render_table
 from repro.baselines.exact_qkp import reference_qkp_optimum
-from repro.core.parallel_saim import ParallelSaim, ParallelSaimConfig
-from repro.core.saim import SelfAdaptiveIsingMachine
 from repro.problems.generators import paper_qkp_instance
 
 from _common import archive, run_once
@@ -30,9 +29,7 @@ def test_ablation_parallel(benchmark):
         reference = reference_qkp_optimum(instance, rng=0)
         outcomes = {}
 
-        serial = SelfAdaptiveIsingMachine(serial_config).solve(
-            instance.to_problem(), rng=21
-        )
+        serial = repro.solve(instance, config=serial_config, rng=21)
         outcomes["serial (paper)"] = (
             serial, serial_config.num_iterations, serial.total_mcs
         )
@@ -40,9 +37,9 @@ def test_ablation_parallel(benchmark):
         for replicas in (2, 4):
             iterations = max(2, serial_config.num_iterations // replicas)
             base = replace(serial_config, num_iterations=iterations)
-            result = ParallelSaim(
-                ParallelSaimConfig(base, num_replicas=replicas)
-            ).solve(instance.to_problem(), rng=21)
+            result = repro.solve(
+                instance, config=base, num_replicas=replicas, rng=21
+            )
             outcomes[f"parallel R={replicas}"] = (result, iterations, result.total_mcs)
 
         for result, _, _ in outcomes.values():

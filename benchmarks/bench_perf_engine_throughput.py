@@ -1,0 +1,189 @@
+"""Perf — replica throughput of the batched annealing kernel.
+
+The unified engine's promise is that an ``R``-replica SAIM iteration costs
+one batched kernel call instead of ``R`` sequential Python runs.  This bench
+measures exactly that hot path on a SAIM-encoded QKP Lagrangian: wall time
+and per-replica sweeps/sec for ``R`` sequential ``anneal`` calls vs one
+``anneal_many(R)`` call, plus an end-to-end engine solve at both replica
+settings.
+
+Results are archived as ``benchmarks/output/BENCH_engine_throughput.json``
+so the perf trajectory of this path is tracked across PRs.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_perf_engine_throughput.py [--smoke]
+
+or through pytest-benchmark like the other benches::
+
+    REPRO_SCALE=ci PYTHONPATH=src python -m pytest benchmarks/bench_perf_engine_throughput.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import OUTPUT_DIR  # noqa: E402
+
+from repro.core.encoding import encode_with_slacks, normalize_problem  # noqa: E402
+from repro.core.engine import SaimEngine  # noqa: E402
+from repro.core.lagrangian import LagrangianIsing  # noqa: E402
+from repro.core.penalty import density_heuristic_penalty  # noqa: E402
+from repro.core.saim import SaimConfig  # noqa: E402
+from repro.core.schedule import linear_beta_schedule  # noqa: E402
+from repro.ising.pbit import PBitMachine  # noqa: E402
+from repro.problems.generators import generate_qkp  # noqa: E402
+
+# (num_items, num_sweeps, engine_iterations) per scale: the kernel workload
+# is the Lagrangian Ising model of a SAIM-encoded QKP instance.
+_SIZES = {
+    "smoke": (30, 60, 4),
+    "ci": (80, 300, 8),
+    "full": (150, 1000, 20),
+}
+REPLICAS = 8
+
+
+def _scale_name() -> str:
+    name = os.environ.get("REPRO_SCALE", "ci").lower()
+    return name if name in _SIZES else "ci"
+
+
+def _build_workload(num_items: int):
+    instance = generate_qkp(num_items, 0.5, rng=11)
+    encoded = encode_with_slacks(instance.to_problem())
+    normalized, _ = normalize_problem(encoded.problem)
+    penalty = density_heuristic_penalty(normalized, alpha=2.0)
+    lagrangian = LagrangianIsing(normalized, penalty)
+    return instance, lagrangian.base_ising
+
+
+def _time(func) -> float:
+    start = time.perf_counter()
+    func()
+    return time.perf_counter() - start
+
+
+def run_throughput(scale: str | None = None) -> dict:
+    """Measure serial-vs-batched replica throughput; returns the record."""
+    scale = scale or _scale_name()
+    num_items, num_sweeps, engine_iters = _SIZES[scale]
+    instance, model = _build_workload(num_items)
+    schedule = linear_beta_schedule(10.0, num_sweeps)
+    machine = PBitMachine(model, rng=0)
+
+    # Warm up both code paths (numpy/BLAS first-call costs).
+    machine.anneal(schedule[: max(2, num_sweeps // 10)])
+    machine.anneal_many(schedule[: max(2, num_sweeps // 10)], 2)
+
+    def serial():
+        for _ in range(REPLICAS):
+            machine.anneal(schedule)
+
+    serial_s = _time(serial)
+    batched_s = _time(lambda: machine.anneal_many(schedule, REPLICAS))
+
+    total_sweeps = REPLICAS * num_sweeps
+    records = [
+        {
+            "variant": f"serial_x{REPLICAS}",
+            "num_replicas": REPLICAS,
+            "seconds": serial_s,
+            "replica_sweeps_per_sec": total_sweeps / serial_s,
+        },
+        {
+            "variant": f"batched_r{REPLICAS}",
+            "num_replicas": REPLICAS,
+            "seconds": batched_s,
+            "replica_sweeps_per_sec": total_sweeps / batched_s,
+            "speedup_vs_serial": serial_s / batched_s,
+        },
+    ]
+
+    # Large-R point: where the lock-step kernel's amortization shines.
+    big_r = 4 * REPLICAS
+    big_s = _time(lambda: machine.anneal_many(schedule, big_r))
+    records.append({
+        "variant": f"batched_r{big_r}",
+        "num_replicas": big_r,
+        "seconds": big_s,
+        "replica_sweeps_per_sec": big_r * num_sweeps / big_s,
+        "speedup_vs_serial": (serial_s / REPLICAS * big_r) / big_s,
+    })
+
+    # End-to-end engine solves: K iterations at R=8 vs the same K serially.
+    config = SaimConfig(num_iterations=engine_iters, mcs_per_run=num_sweeps,
+                        eta=80.0, eta_decay="sqrt", normalize_step=True)
+    problem = instance.to_problem()
+    engine_serial_s = _time(
+        lambda: SaimEngine(config, num_replicas=1).solve(problem, rng=5)
+    )
+    engine_batched_s = _time(
+        lambda: SaimEngine(config, num_replicas=REPLICAS).solve(problem, rng=5)
+    )
+    records.append({
+        "variant": "engine_serial_r1",
+        "num_replicas": 1,
+        "seconds": engine_serial_s,
+        "replica_sweeps_per_sec": engine_iters * num_sweeps / engine_serial_s,
+    })
+    records.append({
+        "variant": f"engine_batched_r{REPLICAS}",
+        "num_replicas": REPLICAS,
+        "seconds": engine_batched_s,
+        "replica_sweeps_per_sec": (
+            engine_iters * REPLICAS * num_sweeps / engine_batched_s
+        ),
+        "cost_vs_serial_iteration": engine_batched_s / engine_serial_s,
+    })
+
+    report = {
+        "bench": "engine_throughput",
+        "scale": scale,
+        "timestamp": time.time(),
+        "num_items": num_items,
+        "num_spins": model.num_spins,
+        "num_sweeps": num_sweeps,
+        "records": records,
+    }
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    out_path = OUTPUT_DIR / "BENCH_engine_throughput.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"\nReplica throughput on {model.num_spins}-spin QKP Lagrangian "
+          f"({scale} scale, {num_sweeps} sweeps/run):")
+    for record in records:
+        rate = record["replica_sweeps_per_sec"]
+        extra = ""
+        if "speedup_vs_serial" in record:
+            extra = f"  ({record['speedup_vs_serial']:.2f}x vs serial)"
+        print(f"  {record['variant']:>18s}: {record['seconds']*1e3:8.1f} ms"
+              f"  {rate:12,.0f} replica-sweeps/s{extra}")
+    print(f"archived {out_path}")
+    return report
+
+
+def test_perf_engine_throughput(benchmark):
+    """Batched replicas must beat sequential anneal calls (the tentpole)."""
+    report = benchmark.pedantic(
+        run_throughput, rounds=1, iterations=1, warmup_rounds=0
+    )
+    by_variant = {record["variant"]: record for record in report["records"]}
+    speedup = by_variant[f"batched_r{REPLICAS}"]["speedup_vs_serial"]
+    if report["scale"] != "smoke":
+        # At smoke sizes (30-spin models) call overhead dominates and the
+        # comparison is noise; at ci/full the batched kernel must win.
+        assert speedup > 1.1, f"batched R={REPLICAS} not faster: {speedup:.2f}x"
+    else:
+        assert speedup > 0.0  # smoke: just exercise the path
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        os.environ["REPRO_SCALE"] = "smoke"
+    run_throughput()

@@ -6,7 +6,8 @@ it, and compares against a greedy heuristic and the best-known reference.
 Run:  python examples/quickstart.py
 """
 
-from repro import SaimConfig, SelfAdaptiveIsingMachine, generate_qkp
+import repro
+from repro import SaimConfig, generate_qkp
 from repro.baselines.exact_qkp import reference_qkp_optimum
 from repro.baselines.greedy import greedy_qkp, local_improve_qkp
 
@@ -25,8 +26,7 @@ def main():
     config = SaimConfig.qkp_paper().scaled(
         iteration_factor=150 / 2000, mcs_factor=0.4, compensate_eta=True
     )
-    saim = SelfAdaptiveIsingMachine(config)
-    result = saim.solve(instance.to_problem(), rng=7)
+    result = repro.solve(instance, config=config, rng=7)
 
     greedy_x = local_improve_qkp(instance, greedy_qkp(instance))
     greedy_profit = instance.profit(greedy_x)

@@ -8,19 +8,32 @@ multidimensional knapsack problems.
 
 Quickstart::
 
-    from repro import SaimConfig, SelfAdaptiveIsingMachine, generate_qkp
+    import repro
 
-    instance = generate_qkp(num_items=40, density=0.5, rng=1)
-    saim = SelfAdaptiveIsingMachine(SaimConfig(num_iterations=100, mcs_per_run=300))
-    result = saim.solve(instance.to_problem(), rng=7)
+    instance = repro.generate_qkp(num_items=40, density=0.5, rng=1)
+    result = repro.solve(instance, num_iterations=100, mcs_per_run=300, rng=7)
     print(result.best_cost, result.feasible_ratio)
+
+``repro.solve`` is the registry-backed front door: ``method`` selects the
+solver loop (``"saim"``, ``"penalty"``), ``backend`` the annealing machine
+(``"pbit"``, ``"metropolis"``, ``"quantized"``, ``"chromatic"``, ``"pt"``),
+and ``num_replicas`` scales the batched replica-parallel engine.
 """
 
+from repro.api import (
+    available_backends,
+    available_methods,
+    make_backend_factory,
+    register_backend,
+    register_method,
+    solve,
+)
 from repro.core import (
     ConstrainedProblem,
     LinearConstraints,
     SaimConfig,
     SaimResult,
+    SaimEngine,
     SelfAdaptiveIsingMachine,
     build_penalty_qubo,
     density_heuristic_penalty,
@@ -31,6 +44,8 @@ from repro.core import (
     LagrangianIsing,
 )
 from repro.ising import (
+    AnnealingBackend,
+    BatchAnnealResult,
     IsingModel,
     QuboModel,
     PBitMachine,
@@ -49,13 +64,22 @@ from repro.problems import (
     paper_mkp_instance,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "solve",
+    "available_backends",
+    "available_methods",
+    "make_backend_factory",
+    "register_backend",
+    "register_method",
+    "AnnealingBackend",
+    "BatchAnnealResult",
     "ConstrainedProblem",
     "LinearConstraints",
     "SaimConfig",
     "SaimResult",
+    "SaimEngine",
     "SelfAdaptiveIsingMachine",
     "build_penalty_qubo",
     "density_heuristic_penalty",

@@ -20,9 +20,10 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.analysis.stats import accuracies, accuracy_percent
+from repro.api import solve
 from repro.baselines.exact_qkp import reference_qkp_optimum
 from repro.baselines.milp import solve_mkp_exact
-from repro.core.saim import SaimConfig, SelfAdaptiveIsingMachine
+from repro.core.saim import SaimConfig
 from repro.problems.generators import paper_mkp_instance, paper_qkp_instance
 from repro.problems.mkp import MkpInstance
 from repro.problems.qkp import QkpInstance
@@ -200,15 +201,21 @@ def run_saim_on_qkp(
     config: SaimConfig | None = None,
     seed=None,
     reference_profit: float | None = None,
+    backend: str = "pbit",
+    num_replicas: int = 1,
 ) -> QkpRunRecord:
     """Run SAIM on a QKP instance and report paper-style metrics.
 
     ``reference_profit`` (OPT) defaults to the best-known ensemble value,
     updated with SAIM's own best find so accuracy never exceeds 100%.
+    ``backend``/``num_replicas`` select the annealing machine and the
+    replica batch through the :func:`repro.api.solve` front door.
     """
     config = config or qkp_saim_config()
-    saim = SelfAdaptiveIsingMachine(config)
-    result = saim.solve(instance.to_problem(), rng=seed)
+    result = solve(
+        instance, method="saim", backend=backend, config=config,
+        num_replicas=num_replicas, rng=seed,
+    )
 
     if reference_profit is None:
         reference_profit = reference_qkp_optimum(instance, rng=seed)
@@ -242,12 +249,16 @@ def run_saim_on_mkp(
     instance: MkpInstance,
     config: SaimConfig | None = None,
     seed=None,
+    backend: str = "pbit",
+    num_replicas: int = 1,
 ) -> MkpRunRecord:
     """Run SAIM on an MKP instance against the exact MILP optimum."""
     config = config or mkp_saim_config()
     exact = solve_mkp_exact(instance)
-    saim = SelfAdaptiveIsingMachine(config)
-    result = saim.solve(instance.to_problem(), rng=seed)
+    result = solve(
+        instance, method="saim", backend=backend, config=config,
+        num_replicas=num_replicas, rng=seed,
+    )
 
     optimum_cost = -exact.profit
     feasible_costs = np.array([record.cost for record in result.feasible_records])

@@ -1,0 +1,262 @@
+"""The front-door API: ``repro.solve(problem, method=..., backend=...)``.
+
+One registry-backed entry point binds the three layers of the stack
+together: a *method* (the outer solver loop), a *backend* (the annealing
+machine implementing the :class:`repro.ising.backend.AnnealingBackend`
+protocol), and a :class:`repro.core.saim.SaimConfig` describing budgets and
+hyper-parameters.  The CLI, the experiment harness, and the benchmark
+drivers all route through here, so a new machine or solver variant becomes
+available everywhere by a single ``register_backend`` / ``register_method``
+call.
+
+Usage::
+
+    import repro
+
+    instance = repro.generate_qkp(num_items=40, density=0.5, rng=1)
+    result = repro.solve(instance, num_iterations=100, mcs_per_run=300, rng=7)
+
+    # replica-parallel on a quantized machine
+    result = repro.solve(
+        instance, backend="quantized", num_replicas=8,
+        backend_options={"bits": 10}, num_iterations=40, rng=7,
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.saim import SaimConfig
+
+_METHODS: dict = {}
+_BACKENDS: dict = {}
+
+
+def register_method(name: str, runner) -> None:
+    """Register a solver method.
+
+    ``runner(problem, config=..., backend=..., backend_factory=...,
+    num_replicas=..., aggregate=..., rng=..., initial_lambdas=...)`` must
+    return a result object (``backend`` is the registry name, for methods
+    that restrict which machines they support).
+    """
+    _METHODS[name] = runner
+
+
+def register_backend(name: str, builder) -> None:
+    """Register an annealing backend.
+
+    ``builder(**backend_options)`` must return a machine factory
+    ``factory(model, rng) -> AnnealingBackend``.
+    """
+    _BACKENDS[name] = builder
+
+
+def available_methods() -> list[str]:
+    """Registered method names."""
+    return sorted(_METHODS)
+
+
+def available_backends() -> list[str]:
+    """Registered backend names."""
+    return sorted(_BACKENDS)
+
+
+def make_backend_factory(backend: str = "pbit", **backend_options):
+    """Resolve a backend name (+ options) into a machine factory."""
+    try:
+        builder = _BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; available: {available_backends()}"
+        ) from None
+    return builder(**backend_options)
+
+
+def _build_config(config, overrides) -> SaimConfig:
+    if config is None:
+        base = SaimConfig(**overrides) if overrides else SaimConfig()
+        return base
+    if isinstance(config, dict):
+        merged = dict(config)
+        merged.update(overrides)
+        return SaimConfig(**merged)
+    if isinstance(config, SaimConfig):
+        return replace(config, **overrides) if overrides else config
+    raise TypeError(
+        f"config must be a SaimConfig, a dict, or None, got {type(config).__name__}"
+    )
+
+
+def solve(
+    problem,
+    method: str = "saim",
+    backend: str = "pbit",
+    *,
+    config=None,
+    num_replicas: int = 1,
+    aggregate: str = "best",
+    rng=None,
+    initial_lambdas=None,
+    backend_options: dict | None = None,
+    **config_overrides,
+):
+    """Solve a constrained problem through the registry.
+
+    Parameters
+    ----------
+    problem:
+        A :class:`repro.core.problem.ConstrainedProblem`, or any instance
+        object exposing ``to_problem()`` (QKP/MKP/knapsack/max-cut
+        instances).
+    method:
+        Registered solver loop; ``"saim"`` (Algorithm 1 via the unified
+        engine) and ``"penalty"`` (the fixed-penalty baseline) ship by
+        default.
+    backend:
+        Registered annealing machine: ``"pbit"`` (paper Section III-B),
+        ``"metropolis"``, ``"quantized"``, ``"chromatic"`` or ``"pt"``.
+    config:
+        A :class:`~repro.core.saim.SaimConfig`, a dict of its fields, or
+        ``None``; keyword overrides (``num_iterations=...`` etc.) are
+        merged on top.
+    num_replicas / aggregate:
+        Replica-parallel settings of the engine loop (``1`` is the paper's
+        serial algorithm).
+    rng:
+        Seed or generator.
+    initial_lambdas:
+        Warm-started multipliers (methods that support them).
+    backend_options:
+        Extra keyword arguments for the backend builder (e.g.
+        ``{"bits": 8}`` for ``"quantized"``).
+
+    Returns the method's result object (a
+    :class:`repro.core.saim.SaimResult` for ``"saim"``).
+    """
+    if hasattr(problem, "to_problem"):
+        problem = problem.to_problem()
+    try:
+        runner = _METHODS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {method!r}; available: {available_methods()}"
+        ) from None
+    factory = make_backend_factory(backend, **(backend_options or {}))
+    resolved = _build_config(config, config_overrides)
+    return runner(
+        problem,
+        config=resolved,
+        backend=backend,
+        backend_factory=factory,
+        num_replicas=num_replicas,
+        aggregate=aggregate,
+        rng=rng,
+        initial_lambdas=initial_lambdas,
+    )
+
+
+# --------------------------------------------------------------------------
+# Default registrations.
+
+def _pbit_builder():
+    from repro.ising.pbit import PBitMachine
+
+    return PBitMachine
+
+
+def _metropolis_builder():
+    from repro.ising.sa import MetropolisMachine
+
+    return MetropolisMachine
+
+
+def _quantized_builder(bits: int = 8):
+    from repro.ising.quantization import QuantizedPBitMachine
+
+    def factory(model, rng=None):
+        return QuantizedPBitMachine(model, bits=bits, rng=rng)
+
+    return factory
+
+
+def _chromatic_builder():
+    from repro.ising.sparse import ChromaticPBitMachine
+
+    return ChromaticPBitMachine.from_dense
+
+
+def _pt_builder(num_replicas: int = 8, beta_min: float = 0.1,
+                read_out: str = "cold"):
+    from repro.ising.pt_machine import PTMachine
+
+    def factory(model, rng=None):
+        return PTMachine(
+            model, rng=rng, num_replicas=num_replicas,
+            beta_min=beta_min, read_out=read_out,
+        )
+
+    return factory
+
+
+def _run_saim(problem, *, config, backend, backend_factory, num_replicas,
+              aggregate, rng, initial_lambdas):
+    del backend  # the factory fully identifies the machine
+    from repro.core.engine import SaimEngine
+
+    engine = SaimEngine(
+        config,
+        num_replicas=num_replicas,
+        aggregate=aggregate,
+        machine_factory=backend_factory,
+    )
+    return engine.solve(problem, rng=rng, initial_lambdas=initial_lambdas)
+
+
+def _run_penalty(problem, *, config, backend, backend_factory, num_replicas,
+                 aggregate, rng, initial_lambdas):
+    # The classical fixed-penalty baseline: one programmed Hamiltonian,
+    # num_iterations independent annealing runs, no multiplier loop.  It
+    # is hard-wired to p-bit batch annealing, so reject knobs it would
+    # otherwise silently ignore.
+    del backend_factory, aggregate
+    if backend != "pbit":
+        raise ValueError(
+            f"the penalty method runs on the 'pbit' backend only, "
+            f"got {backend!r}"
+        )
+    if num_replicas != 1:
+        raise ValueError(
+            "the penalty method has no replica loop; its num_iterations "
+            "already are independent annealing runs"
+        )
+    if initial_lambdas is not None:
+        raise ValueError("the penalty method has no Lagrange multipliers")
+    from repro.core.encoding import encode_with_slacks, normalize_problem
+    from repro.core.penalty import density_heuristic_penalty, penalty_method_solve
+
+    encoded = encode_with_slacks(problem)
+    if config.penalty is not None:
+        penalty = float(config.penalty)
+    else:
+        normalized, _ = normalize_problem(encoded.problem)
+        penalty = density_heuristic_penalty(normalized, alpha=config.alpha)
+    return penalty_method_solve(
+        encoded,
+        penalty,
+        num_runs=config.num_iterations,
+        mcs_per_run=config.mcs_per_run,
+        beta_max=config.beta_max,
+        rng=rng,
+        read_best=config.read_best,
+    )
+
+
+register_backend("pbit", _pbit_builder)
+register_backend("metropolis", _metropolis_builder)
+register_backend("quantized", _quantized_builder)
+register_backend("chromatic", _chromatic_builder)
+register_backend("pt", _pt_builder)
+register_method("saim", _run_saim)
+register_method("penalty", _run_penalty)

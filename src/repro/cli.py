@@ -4,7 +4,12 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
 
     python -m repro.cli generate-qkp out.qkp --items 50 --density 0.5 --seed 1
     python -m repro.cli solve out.qkp --solver saim --iterations 150
+    python -m repro.cli solve out.qkp --replicas 8 --backend quantized
     python -m repro.cli solve instance.mkp --solver exact
+
+SAIM-family solvers go through the :func:`repro.solve` front door, so any
+registered backend (``--backend``) and replica count (``--replicas``) is
+available from the command line.
 
 Formats are auto-detected from the extension (``.qkp`` / ``.mkp``); see
 :mod:`repro.problems.io`.
@@ -47,6 +52,17 @@ def _build_parser() -> argparse.ArgumentParser:
                  "exact", "ga"),
         default="saim",
     )
+    solve.add_argument(
+        "--backend", default=None,
+        help="annealing backend for SAIM solvers (see repro.available_backends())",
+    )
+    solve.add_argument(
+        "--replicas", type=int, default=None,
+        help="annealing replicas per SAIM iteration, run at the full "
+             "--iterations count (default 1; --solver parallel-saim "
+             "defaults to 4 and divides --iterations by the replica "
+             "count to keep the total MCS budget matched)",
+    )
     solve.add_argument("--iterations", type=int, default=150,
                        help="SAIM iterations / penalty runs")
     solve.add_argument("--mcs", type=int, default=400, help="MCS per run")
@@ -67,7 +83,7 @@ def _load_instance(path: Path):
 
 
 def _solve(args) -> int:
-    from repro.core.saim import SaimConfig, SelfAdaptiveIsingMachine
+    from repro.core.saim import SaimConfig
 
     instance, kind = _load_instance(args.path)
     print(f"Loaded {kind.upper()} instance {instance.name!r} "
@@ -134,7 +150,9 @@ def _solve(args) -> int:
             print("no feasible sample found")
         return 0
 
-    # SAIM variants.
+    # SAIM variants — all routed through the repro.solve front door.
+    import repro
+
     if kind == "qkp":
         config = SaimConfig.qkp_paper().scaled(
             args.iterations / 2000, args.mcs / 1000
@@ -148,29 +166,32 @@ def _solve(args) -> int:
     config = replace(config, eta=80.0, eta_decay="sqrt", normalize_step=True) \
         if kind == "qkp" else config
 
-    if args.solver == "parallel-saim":
-        from repro.core.parallel_saim import ParallelSaim, ParallelSaimConfig
-
-        replicas = 4
-        base = replace(
+    backend = args.backend or ("pt" if args.solver == "saim-pt" else "pbit")
+    if backend not in repro.available_backends():
+        raise SystemExit(
+            f"unknown backend {backend!r}; choose from "
+            f"{', '.join(repro.available_backends())}"
+        )
+    replicas = args.replicas
+    if replicas is None:
+        replicas = 4 if args.solver == "parallel-saim" else 1
+    if replicas < 1:
+        raise SystemExit(f"--replicas must be >= 1, got {replicas}")
+    if args.solver == "parallel-saim" and replicas > 1:
+        # Legacy matched-budget convention for this solver: replicas buy
+        # down the iteration count so the total MCS stays comparable.
+        config = replace(
             config, num_iterations=max(2, config.num_iterations // replicas)
         )
-        result = ParallelSaim(
-            ParallelSaimConfig(base, num_replicas=replicas)
-        ).solve(instance.to_problem(), rng=args.seed)
-    elif args.solver == "saim-pt":
-        from repro.ising.pt_machine import PTMachine
 
-        def factory(model, rng):
-            return PTMachine(model, rng=rng, num_replicas=8)
-
-        result = SelfAdaptiveIsingMachine(config, machine_factory=factory).solve(
-            instance.to_problem(), rng=args.seed
-        )
-    else:
-        result = SelfAdaptiveIsingMachine(config).solve(
-            instance.to_problem(), rng=args.seed
-        )
+    result = repro.solve(
+        instance,
+        method="saim",
+        backend=backend,
+        config=config,
+        num_replicas=replicas,
+        rng=args.seed,
+    )
     print(f"SAIM penalty P = {result.penalty:.2f}, "
           f"feasible {100 * result.feasible_ratio:.0f}% "
           f"({result.total_mcs} MCS total)")

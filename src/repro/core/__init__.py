@@ -31,6 +31,7 @@ from repro.core.schedule import (
     constant_beta_schedule,
 )
 from repro.core.saim import SelfAdaptiveIsingMachine, SaimConfig, SaimResult
+from repro.core.engine import SaimEngine
 from repro.core.results import FeasibleRecord, SolveTrace
 from repro.core.hybrid_encoding import (
     encode_with_hybrid_slacks,
@@ -83,6 +84,7 @@ __all__ = [
     "geometric_beta_schedule",
     "constant_beta_schedule",
     "SelfAdaptiveIsingMachine",
+    "SaimEngine",
     "SaimConfig",
     "SaimResult",
     "FeasibleRecord",

@@ -1,0 +1,231 @@
+"""The unified SAIM engine — one Algorithm 1 loop for any replica count.
+
+Algorithm 1 of the paper alternates an Ising-machine minimization of the
+current Lagrangian with a subgradient ascent on the multipliers.  The paper
+runs *one* annealing run per multiplier update; hardware IMs are massively
+parallel, so the natural generalization runs ``R`` independent replicas of
+the same Lagrangian per iteration and feeds the multiplier update from their
+aggregate:
+
+- ``"best"`` — the subgradient at the lowest-energy replica (a closer
+  surrogate for the true ``argmin L``, per the surrogate-gradient view);
+- ``"mean"`` — the average residual over replicas (a smoothed subgradient).
+
+:class:`SaimEngine` is the single implementation of that loop.  With
+``num_replicas=1`` it reproduces the paper's serial Algorithm 1 bit-for-bit
+(:class:`repro.core.saim.SelfAdaptiveIsingMachine` is a thin shim over it);
+with ``R > 1`` every iteration is one batched ``anneal_many`` call on the
+backend (:class:`repro.core.parallel_saim.ParallelSaim` is the shim for
+that).  Every configuration knob — schedule choice, eta decay, normalized
+steps, warm-started multipliers, early exits, custom machine factories —
+works identically at any replica count.
+
+The engine drives machines exclusively through the
+:class:`repro.ising.backend.AnnealingBackend` protocol; machines exposing
+only a serial ``anneal`` are adapted automatically via
+:func:`repro.ising.backend.dispatch_anneal_many`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.encoding import (
+    EncodedProblem,
+    encode_with_slacks,
+    normalize_problem,
+)
+from repro.core.lagrangian import LagrangianIsing
+from repro.core.penalty import density_heuristic_penalty
+from repro.core.problem import ConstrainedProblem
+from repro.core.results import FeasibleRecord, SolveTrace
+from repro.core.saim import _ETA_DECAYS, _SCHEDULES, SaimConfig, SaimResult
+from repro.ising.backend import dispatch_anneal_many
+from repro.ising.pbit import PBitMachine
+from repro.utils.rng import ensure_rng
+
+AGGREGATES = ("best", "mean")
+
+
+class SaimEngine:
+    """Replica-parameterized driver of Algorithm 1.
+
+    Parameters
+    ----------
+    config:
+        The usual SAIM hyper-parameters (:class:`repro.core.saim.SaimConfig`).
+    num_replicas:
+        Annealing replicas per iteration; each iteration is one batched
+        ``anneal_many`` call on the backend.  ``1`` is the paper's serial
+        algorithm.
+    aggregate:
+        How replicas feed the multiplier update: ``"best"`` (lowest-energy
+        replica's subgradient) or ``"mean"`` (average residual).
+    machine_factory:
+        Any callable ``factory(model, rng) -> machine`` whose machine
+        exposes ``set_fields(fields, offset)`` and either ``anneal_many``
+        (the :class:`~repro.ising.backend.AnnealingBackend` protocol) or a
+        serial ``anneal``.  Defaults to the p-bit machine of Section III-B.
+    """
+
+    def __init__(
+        self,
+        config: SaimConfig | None = None,
+        num_replicas: int = 1,
+        aggregate: str = "best",
+        machine_factory=None,
+    ):
+        if num_replicas < 1:
+            raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
+        if aggregate not in AGGREGATES:
+            raise ValueError(
+                f"aggregate must be one of {AGGREGATES}, got {aggregate!r}"
+            )
+        self.config = config if config is not None else SaimConfig()
+        self.num_replicas = num_replicas
+        self.aggregate = aggregate
+        self.machine_factory = (
+            machine_factory if machine_factory is not None else PBitMachine
+        )
+
+    def solve(self, problem: ConstrainedProblem, rng=None,
+              initial_lambdas=None) -> SaimResult:
+        """Run the engine loop on ``problem``; returns the best feasible find.
+
+        ``problem`` may contain inequalities — they are slack-encoded and
+        normalized internally, and all reported solutions/costs refer back
+        to the original problem.  ``initial_lambdas`` warm-starts the
+        multipliers (the paper always starts from zero).
+        """
+        encoded = encode_with_slacks(problem)
+        return self.solve_encoded(encoded, rng=rng, initial_lambdas=initial_lambdas)
+
+    def solve_encoded(self, encoded: EncodedProblem, rng=None,
+                      initial_lambdas=None) -> SaimResult:
+        """Run the engine loop on an already slack-encoded problem."""
+        config = self.config
+        replicas = self.num_replicas
+        rng = ensure_rng(rng)
+        normalized, _scales = normalize_problem(encoded.problem)
+        if config.penalty is not None:
+            penalty = float(config.penalty)
+        else:
+            penalty = density_heuristic_penalty(normalized, alpha=config.alpha)
+        lagrangian = LagrangianIsing(normalized, penalty)
+        machine = self.machine_factory(lagrangian.base_ising, rng=rng)
+        schedule_fn = _SCHEDULES[config.schedule]
+        if config.schedule == "linear":
+            schedule = schedule_fn(config.beta_max, config.mcs_per_run, beta_min=0.0)
+        else:
+            schedule = schedule_fn(config.beta_max, config.mcs_per_run)
+
+        source = encoded.source
+        num_multipliers = lagrangian.num_multipliers
+        if initial_lambdas is None:
+            lambdas = np.zeros(num_multipliers)
+        else:
+            lambdas = np.asarray(initial_lambdas, dtype=float).copy()
+            if lambdas.shape != (num_multipliers,):
+                raise ValueError(
+                    f"initial_lambdas must have shape ({num_multipliers},), "
+                    f"got {lambdas.shape}"
+                )
+
+        k_total = config.num_iterations
+        sample_costs = np.empty(k_total)
+        feasible_mask = np.zeros(k_total, dtype=bool)
+        lambda_history = np.empty((k_total, num_multipliers))
+        energies = np.empty(k_total)
+
+        best_x = None
+        best_cost = np.inf
+        feasible_records = []
+        stall = 0
+        k_ran = 0
+
+        for k in range(k_total):
+            lambda_history[k] = lambdas
+            machine.set_fields(
+                lagrangian.fields_for(lambdas), lagrangian.offset_for(lambdas)
+            )
+            batch = dispatch_anneal_many(machine, schedule, replicas)
+            samples = batch.best_samples if config.read_best else batch.last_samples
+            xs_ext = ((np.asarray(samples) + 1) / 2).astype(np.int8)
+
+            # Harvest every replica's read-out for the incumbent.
+            improved = False
+            restricted = [encoded.restrict(xs_ext[r]) for r in range(replicas)]
+            feasible = [source.is_feasible(x) for x in restricted]
+            for r in range(replicas):
+                if not feasible[r]:
+                    continue
+                cost = source.objective(restricted[r])
+                if cost < best_cost:
+                    best_cost = cost
+                    best_x = restricted[r]
+                    improved = True
+
+            # The lead replica feeds the trace and (for "best") the update.
+            lead = int(np.argmin(batch.last_energies)) if replicas > 1 else 0
+            if self.aggregate == "mean" and replicas > 1:
+                lead = 0
+            x_lead = restricted[lead]
+            cost_lead = source.objective(x_lead)
+            sample_costs[k] = cost_lead
+            energies[k] = batch.last_energies[lead]
+            if feasible[lead]:
+                feasible_mask[k] = True
+                feasible_records.append(
+                    FeasibleRecord(iteration=k, x=x_lead, cost=cost_lead)
+                )
+
+            if self.aggregate == "mean" and replicas > 1:
+                residual = np.mean(
+                    [lagrangian.residuals(xs_ext[r]) for r in range(replicas)],
+                    axis=0,
+                )
+            else:
+                residual = lagrangian.residuals(xs_ext[lead])
+
+            step = config.eta * _ETA_DECAYS[config.eta_decay](k)
+            direction = residual
+            if config.normalize_step:
+                norm = float(np.linalg.norm(residual))
+                if norm > 1e-12:
+                    direction = residual / norm
+            lambdas = lambdas + step * direction
+            k_ran = k + 1
+
+            # Optional early exits (disabled by default; the paper always
+            # spends the full budget).
+            if (
+                config.target_cost is not None
+                and best_x is not None
+                and best_cost <= config.target_cost + 1e-12
+            ):
+                break
+            if config.patience is not None and best_x is not None:
+                stall = 0 if improved else stall + 1
+                if stall >= config.patience:
+                    break
+
+        trace = None
+        if config.record_trace:
+            trace = SolveTrace(
+                sample_costs=sample_costs[:k_ran],
+                feasible=feasible_mask[:k_ran],
+                lambdas=lambda_history[:k_ran],
+                energies=energies[:k_ran],
+            )
+        return SaimResult(
+            best_x=best_x,
+            best_cost=float(best_cost),
+            feasible_records=feasible_records,
+            penalty=penalty,
+            final_lambdas=lambdas,
+            num_iterations=k_ran,
+            mcs_per_run=config.mcs_per_run,
+            trace=trace,
+            num_replicas=replicas,
+            total_mcs=k_ran * replicas * config.mcs_per_run,
+        )

@@ -1,35 +1,30 @@
-"""Replica-parallel SAIM — an extension beyond the paper.
+"""Replica-parallel SAIM — compatibility shim over the unified engine.
 
 Algorithm 1 runs *one* annealing run per multiplier update, which serializes
 the whole solve.  Hardware IMs are massively parallel, so a natural
 extension runs ``R`` independent replicas of the same Lagrangian per
-iteration and feeds the multiplier update from their aggregate:
-
-- ``"best"`` — the subgradient at the lowest-energy replica (a closer
-  surrogate for the true ``argmin L``, per the surrogate-gradient view);
-- ``"mean"`` — the average residual over replicas (a smoothed subgradient).
+iteration and feeds the multiplier update from their aggregate — see
+:class:`repro.core.engine.SaimEngine`, which now owns that loop for every
+replica count.  This module keeps the historical ``ParallelSaim`` /
+``ParallelSaimConfig`` surface as a thin delegation layer.
 
 Costs R times more MCS per iteration but needs far fewer iterations for the
 same solution quality — the trade a parallel machine makes for wall-time.
+Unlike the pre-engine implementation, every ``SaimConfig`` knob (schedule
+choice, ``target_cost``, ``patience``, warm starts, machine factories) is
+honored at any replica count, and the result reports ``num_iterations = K``
+with replica-aware sweep accounting in ``SaimResult.total_mcs``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.core.encoding import encode_with_slacks, normalize_problem
-from repro.core.lagrangian import LagrangianIsing
-from repro.core.penalty import density_heuristic_penalty
+from repro.core.engine import AGGREGATES, SaimEngine
 from repro.core.problem import ConstrainedProblem
-from repro.core.results import FeasibleRecord, SolveTrace
-from repro.core.saim import _ETA_DECAYS, SaimConfig, SaimResult
-from repro.core.schedule import linear_beta_schedule
-from repro.ising.pbit import PBitMachine
-from repro.utils.rng import ensure_rng
+from repro.core.saim import SaimConfig, SaimResult
 
-_AGGREGATES = ("best", "mean")
+_AGGREGATES = AGGREGATES
 
 
 @dataclass(frozen=True)
@@ -57,100 +52,22 @@ class ParallelSaimConfig:
 class ParallelSaim:
     """Driver for replica-parallel SAIM (see module docstring)."""
 
-    def __init__(self, config: ParallelSaimConfig):
+    def __init__(self, config: ParallelSaimConfig, machine_factory=None):
         self.config = config
+        self.machine_factory = machine_factory
 
-    def solve(self, problem: ConstrainedProblem, rng=None) -> SaimResult:
+    def solve(self, problem: ConstrainedProblem, rng=None,
+              initial_lambdas=None) -> SaimResult:
         """Run the replica-parallel loop; returns a standard ``SaimResult``.
 
-        ``total_mcs`` of the result accounts for all replicas
-        (``K * R * mcs_per_run``) via the reported iteration count.
+        ``num_iterations`` of the result is the multiplier-update count
+        ``K``; ``total_mcs`` accounts for all replicas
+        (``K * R * mcs_per_run``).
         """
-        config = self.config.base
-        replicas = self.config.num_replicas
-        rng = ensure_rng(rng)
-        encoded = encode_with_slacks(problem)
-        normalized, _ = normalize_problem(encoded.problem)
-        if config.penalty is not None:
-            penalty = float(config.penalty)
-        else:
-            penalty = density_heuristic_penalty(normalized, alpha=config.alpha)
-        lagrangian = LagrangianIsing(normalized, penalty)
-        machine = PBitMachine(lagrangian.base_ising, rng=rng)
-        schedule = linear_beta_schedule(config.beta_max, config.mcs_per_run)
-
-        source = encoded.source
-        lambdas = np.zeros(lagrangian.num_multipliers)
-        k_total = config.num_iterations
-
-        sample_costs = np.empty(k_total)
-        feasible_mask = np.zeros(k_total, dtype=bool)
-        lambda_history = np.empty((k_total, lagrangian.num_multipliers))
-        energies = np.empty(k_total)
-
-        best_x = None
-        best_cost = np.inf
-        feasible_records = []
-
-        for k in range(k_total):
-            lambda_history[k] = lambdas
-            machine.set_fields(
-                lagrangian.fields_for(lambdas), lagrangian.offset_for(lambdas)
-            )
-            runs = machine.anneal_batch(schedule, replicas)
-
-            # Harvest every replica's read-out for incumbents.
-            read_outs = []
-            for run in runs:
-                sample = run.best_sample if config.read_best else run.last_sample
-                x_ext = ((np.asarray(sample) + 1) / 2).astype(np.int8)
-                read_outs.append((x_ext, run.last_energy))
-                x = encoded.restrict(x_ext)
-                if source.is_feasible(x):
-                    cost = source.objective(x)
-                    if cost < best_cost:
-                        best_cost = cost
-                        best_x = x
-
-            if self.config.aggregate == "best":
-                x_update, energy = min(read_outs, key=lambda pair: pair[1])
-                residual = lagrangian.residuals(x_update)
-            else:
-                residual = np.mean(
-                    [lagrangian.residuals(x_ext) for x_ext, _ in read_outs], axis=0
-                )
-                x_update, energy = read_outs[0]
-
-            x_lead = encoded.restrict(x_update)
-            cost_lead = source.objective(x_lead)
-            sample_costs[k] = cost_lead
-            energies[k] = energy
-            if source.is_feasible(x_lead):
-                feasible_mask[k] = True
-                feasible_records.append(
-                    FeasibleRecord(iteration=k, x=x_lead, cost=cost_lead)
-                )
-
-            if config.normalize_step:
-                norm = float(np.linalg.norm(residual))
-                if norm > 1e-12:
-                    residual = residual / norm
-            step = config.eta * _ETA_DECAYS[config.eta_decay](k)
-            lambdas = lambdas + step * residual
-
-        trace = SolveTrace(
-            sample_costs=sample_costs,
-            feasible=feasible_mask,
-            lambdas=lambda_history,
-            energies=energies,
+        engine = SaimEngine(
+            self.config.base,
+            num_replicas=self.config.num_replicas,
+            aggregate=self.config.aggregate,
+            machine_factory=self.machine_factory,
         )
-        return SaimResult(
-            best_x=best_x,
-            best_cost=float(best_cost),
-            feasible_records=feasible_records,
-            penalty=penalty,
-            final_lambdas=lambdas,
-            num_iterations=k_total * replicas,  # MCS accounting
-            mcs_per_run=config.mcs_per_run,
-            trace=trace,
-        )
+        return engine.solve(problem, rng=rng, initial_lambdas=initial_lambdas)

@@ -20,21 +20,14 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.core.encoding import (
-    EncodedProblem,
-    encode_with_slacks,
-    normalize_problem,
-)
-from repro.core.lagrangian import LagrangianIsing
-from repro.core.penalty import density_heuristic_penalty
+from repro.core.encoding import EncodedProblem
 from repro.core.problem import ConstrainedProblem
-from repro.core.results import FeasibleRecord, SolveTrace
+from repro.core.results import SolveTrace
 from repro.core.schedule import (
     geometric_beta_schedule,
     linear_beta_schedule,
 )
 from repro.ising.pbit import PBitMachine
-from repro.utils.rng import ensure_rng
 
 _SCHEDULES = {
     "linear": linear_beta_schedule,
@@ -191,6 +184,10 @@ class SaimResult:
     objective scale; ``best_x`` is ``None`` when no feasible sample was ever
     read out.  ``feasible_ratio`` matches the parenthesized percentages the
     paper reports next to average accuracies.
+
+    ``num_iterations`` is always the number of multiplier updates ``K``,
+    whatever the replica count; replica-aware sweep accounting lives in the
+    dedicated ``total_mcs`` field (``K * R * mcs_per_run`` by default).
     """
 
     best_x: np.ndarray | None
@@ -201,6 +198,14 @@ class SaimResult:
     num_iterations: int
     mcs_per_run: int
     trace: SolveTrace | None = None
+    num_replicas: int = 1
+    total_mcs: int | None = None
+
+    def __post_init__(self):
+        if self.total_mcs is None:
+            self.total_mcs = (
+                self.num_iterations * self.num_replicas * self.mcs_per_run
+            )
 
     @property
     def found_feasible(self) -> bool:
@@ -214,13 +219,8 @@ class SaimResult:
 
     @property
     def feasible_ratio(self) -> float:
-        """Fraction of iterations whose read-out was feasible."""
+        """Fraction of iterations whose lead read-out was feasible."""
         return self.num_feasible / self.num_iterations
-
-    @property
-    def total_mcs(self) -> int:
-        """Total Monte-Carlo sweeps spent by the solve."""
-        return self.num_iterations * self.mcs_per_run
 
     def average_feasible_cost(self) -> float:
         """Mean original-objective cost over feasible samples (nan if none)."""
@@ -244,16 +244,27 @@ class SelfAdaptiveIsingMachine:
     The paper stresses SAIM "is compatible with any programmable IM";
     ``machine_factory`` realizes that: any callable
     ``factory(model, rng) -> machine`` whose machine exposes
-    ``set_fields(fields, offset)`` and ``anneal(schedule) -> AnnealResult``
-    can drive Algorithm 1.  The default is the p-bit machine of Section
-    III-B; :class:`repro.ising.sa.MetropolisMachine` and
+    ``set_fields(fields, offset)`` and ``anneal``/``anneal_many`` can drive
+    Algorithm 1.  The default is the p-bit machine of Section III-B;
+    :class:`repro.ising.sa.MetropolisMachine` and
     :class:`repro.ising.quantization.QuantizedPBitMachine` are drop-ins.
+
+    This class is a compatibility shim over the unified
+    :class:`repro.core.engine.SaimEngine` at ``num_replicas=1`` — the
+    engine's serial path reproduces the historical solver bit-for-bit.
     """
 
     def __init__(self, config: SaimConfig | None = None, machine_factory=None):
         self.config = config if config is not None else SaimConfig()
         self.machine_factory = (
             machine_factory if machine_factory is not None else PBitMachine
+        )
+
+    def _engine(self):
+        from repro.core.engine import SaimEngine
+
+        return SaimEngine(
+            self.config, num_replicas=1, machine_factory=self.machine_factory
         )
 
     def solve(self, problem: ConstrainedProblem, rng=None,
@@ -263,112 +274,11 @@ class SelfAdaptiveIsingMachine:
         ``initial_lambdas`` warm-starts the multipliers (e.g. from a prior
         solve of a perturbed instance); the paper always starts from zero.
         """
-        encoded = encode_with_slacks(problem)
-        return self.solve_encoded(encoded, rng=rng, initial_lambdas=initial_lambdas)
+        return self._engine().solve(problem, rng=rng, initial_lambdas=initial_lambdas)
 
     def solve_encoded(self, encoded: EncodedProblem, rng=None,
                       initial_lambdas=None) -> SaimResult:
         """Run Algorithm 1 on an already slack-encoded problem."""
-        config = self.config
-        rng = ensure_rng(rng)
-        normalized, _scales = normalize_problem(encoded.problem)
-        if config.penalty is not None:
-            penalty = float(config.penalty)
-        else:
-            penalty = density_heuristic_penalty(normalized, alpha=config.alpha)
-        lagrangian = LagrangianIsing(normalized, penalty)
-        machine = self.machine_factory(lagrangian.base_ising, rng=rng)
-        schedule_fn = _SCHEDULES[config.schedule]
-        if config.schedule == "linear":
-            schedule = schedule_fn(config.beta_max, config.mcs_per_run, beta_min=0.0)
-        else:
-            schedule = schedule_fn(config.beta_max, config.mcs_per_run)
-
-        source = encoded.source
-        num_multipliers = lagrangian.num_multipliers
-        if initial_lambdas is None:
-            lambdas = np.zeros(num_multipliers)
-        else:
-            lambdas = np.asarray(initial_lambdas, dtype=float).copy()
-            if lambdas.shape != (num_multipliers,):
-                raise ValueError(
-                    f"initial_lambdas must have shape ({num_multipliers},), "
-                    f"got {lambdas.shape}"
-                )
-
-        k_total = config.num_iterations
-        sample_costs = np.empty(k_total)
-        feasible_mask = np.zeros(k_total, dtype=bool)
-        lambda_history = np.empty((k_total, num_multipliers))
-        energies = np.empty(k_total)
-
-        best_x = None
-        best_cost = np.inf
-        feasible_records = []
-        stall = 0
-        k_ran = 0
-
-        for k in range(k_total):
-            lambda_history[k] = lambdas
-            machine.set_fields(
-                lagrangian.fields_for(lambdas), lagrangian.offset_for(lambdas)
-            )
-            run = machine.anneal(schedule)
-            sample = run.best_sample if config.read_best else run.last_sample
-            x_ext = ((np.asarray(sample) + 1) / 2).astype(np.int8)
-
-            residual = lagrangian.residuals(x_ext)
-            x = encoded.restrict(x_ext)
-            cost = source.objective(x)
-            sample_costs[k] = cost
-            energies[k] = run.last_energy
-
-            improved = False
-            if source.is_feasible(x):
-                feasible_mask[k] = True
-                feasible_records.append(FeasibleRecord(iteration=k, x=x, cost=cost))
-                if cost < best_cost:
-                    best_cost = cost
-                    best_x = x
-                    improved = True
-
-            step = config.eta * _ETA_DECAYS[config.eta_decay](k)
-            direction = residual
-            if config.normalize_step:
-                norm = float(np.linalg.norm(residual))
-                if norm > 1e-12:
-                    direction = residual / norm
-            lambdas = lambdas + step * direction
-            k_ran = k + 1
-
-            # Optional early exits (disabled by default; the paper always
-            # spends the full budget).
-            if (
-                config.target_cost is not None
-                and best_x is not None
-                and best_cost <= config.target_cost + 1e-12
-            ):
-                break
-            if config.patience is not None and best_x is not None:
-                stall = 0 if improved else stall + 1
-                if stall >= config.patience:
-                    break
-
-        trace = None
-        if config.record_trace:
-            trace = SolveTrace(
-                sample_costs=sample_costs[:k_ran],
-                feasible=feasible_mask[:k_ran],
-                lambdas=lambda_history[:k_ran],
-                energies=energies[:k_ran],
-            )
-        return SaimResult(
-            best_x=best_x,
-            best_cost=float(best_cost),
-            feasible_records=feasible_records,
-            penalty=penalty,
-            final_lambdas=lambdas,
-            num_iterations=k_ran,
-            mcs_per_run=config.mcs_per_run,
-            trace=trace,
+        return self._engine().solve_encoded(
+            encoded, rng=rng, initial_lambdas=initial_lambdas
         )

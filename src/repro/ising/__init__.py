@@ -15,6 +15,12 @@ used in the paper's evaluation:
 """
 
 from repro.ising.model import IsingModel, QuboModel
+from repro.ising.backend import (
+    AnnealingBackend,
+    BatchAnnealResult,
+    batch_from_runs,
+    dispatch_anneal_many,
+)
 from repro.ising.energy import (
     ising_energy,
     ising_energies,
@@ -48,6 +54,10 @@ from repro.ising.higher_order import (
 )
 
 __all__ = [
+    "AnnealingBackend",
+    "BatchAnnealResult",
+    "batch_from_runs",
+    "dispatch_anneal_many",
     "QuantizationSpec",
     "QuantizedPBitMachine",
     "quantize_ising",

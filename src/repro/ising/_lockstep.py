@@ -1,0 +1,126 @@
+"""Shared lock-step replica kernel for single-flip samplers.
+
+Both the p-bit (Gibbs) and Metropolis machines advance ``R`` independent
+chains in lock-step over the same sweep/spin scan.  The per-spin acceptance
+rules differ, but the machinery that makes the scan fast in pure numpy is
+identical, so it lives here once:
+
+- per-sweep noise is folded into per-spin *threshold tables* outside the
+  scan (``thresholds_for``), so the hot loop is comparisons only;
+- a 32-spin block's decisions are *speculated* in one vectorized call
+  (``decide``) assuming no intra-block flips; python-level iteration
+  happens only at actual flip events — decisions before the first flip are
+  provably exact, the rest are re-speculated after the in-block coupling
+  correction.  Frozen low-temperature blocks cost a few array ops total;
+- a block's accumulated flips hit the global input fields as one BLAS
+  matmul instead of one rank-1 update per flip, and energies are
+  recomputed from the maintained inputs once per sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Spins per block: large enough to amortize the per-block global-field
+# matmul, small enough that in-block corrections stay cache-resident.
+BLOCK = 32
+
+
+def lockstep_anneal(
+    coupling: np.ndarray,
+    fields: np.ndarray,
+    offset: float,
+    betas: np.ndarray,
+    states: np.ndarray,
+    thresholds_for,
+    decide,
+    record_energy: bool = False,
+):
+    """Advance ``R`` lock-step chains; returns final/best states + energies.
+
+    Parameters
+    ----------
+    coupling / fields / offset:
+        Dense Ising Hamiltonian ``H = -1/2 s.J s - h.s + c``.
+    betas:
+        Inverse temperature per sweep.
+    states:
+        ``(R, n)`` initial ±1 spins (consumed; not modified in place).
+    thresholds_for:
+        ``thresholds_for(beta) -> (n, R)`` per-sweep threshold table; this
+        is where the sampler draws its noise, so it is called exactly once
+        per sweep, before the scan.
+    decide:
+        ``decide(thresholds_rows, input_rows, spin_rows) -> delta_rows``:
+        the sampler's acceptance rule, vectorized over a ``(m, R)`` tail of
+        a block; must return the spin deltas (0 where no flip) *assuming
+        the given input fields are current*.
+    record_energy:
+        Also return ``(R, sweeps)`` per-sweep energy traces (else None).
+
+    Returns ``(last_spins, last_energies, best_spins, best_energies,
+    traces)`` with spins in ``(n, R)`` layout.
+    """
+    num_replicas, n = states.shape
+    spins = np.ascontiguousarray(states.T)  # (n, R): row i = spin i
+    inputs = coupling @ spins + fields[:, None]
+
+    def batch_energies():
+        # H = -1/2 s.J s - h.s + c  ==  -1/2 s.I - 1/2 h.s + c
+        return (
+            -0.5 * np.einsum("ir,ir->r", spins, inputs)
+            - 0.5 * (fields @ spins)
+            + offset
+        )
+
+    energies = batch_energies()
+    best_energies = energies.copy()
+    best_spins = spins.copy()
+    traces = np.empty((num_replicas, betas.size)) if record_energy else None
+
+    starts = range(0, n, BLOCK)
+    col_blocks = [
+        np.ascontiguousarray(coupling[:, i0:i0 + BLOCK]) for i0 in starts
+    ]
+    sub_blocks = [
+        np.ascontiguousarray(coupling[i0:i0 + BLOCK, i0:i0 + BLOCK])
+        for i0 in starts
+    ]
+
+    for sweep, beta in enumerate(betas):
+        thresholds = thresholds_for(beta)
+
+        for i0, cols, sub in zip(starts, col_blocks, sub_blocks):
+            size = cols.shape[1]
+            local = inputs[i0:i0 + size].copy()
+            thr_blk = thresholds[i0:i0 + size]
+            spins_blk = spins[i0:i0 + size]  # view; writes hit `spins`
+            deltas = np.zeros((size, num_replicas))
+            flipped_any = False
+            j = 0
+            while j < size:
+                spec_delta = decide(thr_blk[j:], local[j:], spins_blk[j:])
+                flip_rows = spec_delta.any(axis=1)
+                if not flip_rows.any():
+                    break
+                step = int(np.argmax(flip_rows))
+                jf = j + step
+                delta = spec_delta[step]
+                deltas[jf] = delta
+                spins_blk[jf] += delta
+                if jf + 1 < size:
+                    local[jf + 1:] += sub[jf, jf + 1:, None] * delta
+                flipped_any = True
+                j = jf + 1
+            if flipped_any:
+                inputs += cols @ deltas
+
+        energies = batch_energies()
+        improved = energies < best_energies
+        if improved.any():
+            best_energies[improved] = energies[improved]
+            best_spins[:, improved] = spins[:, improved]
+        if record_energy:
+            traces[:, sweep] = energies
+
+    return spins, energies, best_spins, best_energies, traces

@@ -15,54 +15,35 @@ states the machine is annealed with a beta schedule (linear ``0 -> beta_max``
 in the paper), and — exactly as in the paper — the *last* sample of a run is
 what the surrounding algorithm reads out.
 
-Two execution paths are provided:
+The machine implements the :class:`repro.ising.backend.AnnealingBackend`
+protocol; :meth:`PBitMachine.anneal_many` is the canonical entry point and
+dispatches between two kernels:
 
-- :meth:`PBitMachine.anneal` — one run, sequential Gibbs with incremental
-  input-field updates (a flip costs one row-AXPY, a non-flip costs O(1)).
-  This is the bit-exact reference used inside SAIM.
-- :meth:`PBitMachine.anneal_batch` — many independent runs advanced in
-  lock-step, vectorized across runs.  Statistically identical to repeated
-  :meth:`anneal` calls and much faster in numpy; used by the penalty-method
-  baselines that need thousands of independent runs.
+- ``R = 1`` — sequential Gibbs with incremental input-field updates (a flip
+  costs one row-AXPY, a non-flip costs O(1)).  This is the bit-exact
+  reference used inside SAIM; :meth:`PBitMachine.anneal` is its view.
+- ``R > 1`` — replicas advanced in lock-step, vectorized across runs with
+  block-deferred field updates: the per-sweep noise is folded into
+  per-update acceptance *thresholds* (one comparison per p-bit instead of a
+  tanh per p-bit), within a block only the block-local couplings are
+  corrected incrementally, and each block's accumulated flips hit the global
+  input fields as a single BLAS matmul.  Statistically equivalent to
+  repeated serial runs and substantially faster per replica.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 import numpy as np
 
-from repro.ising.energy import ising_energies, ising_energy
+from repro.ising._lockstep import lockstep_anneal
+from repro.ising.backend import AnnealResult, BatchAnnealResult, batch_from_runs
+from repro.ising.energy import ising_energy
 from repro.ising.model import IsingModel
 from repro.utils.rng import ensure_rng
 
-
-@dataclass
-class AnnealResult:
-    """Outcome of one annealing run.
-
-    Attributes
-    ----------
-    last_sample:
-        Spin state after the final sweep — what the paper's Algorithm 1 reads.
-    last_energy:
-        Hamiltonian value of ``last_sample``.
-    best_sample / best_energy:
-        Lowest-energy state seen during the run (tracked for analysis; SAIM
-        itself only consumes the last sample).
-    num_sweeps:
-        Monte-Carlo sweeps performed.
-    energy_trace:
-        Per-sweep energy if requested, else ``None``.
-    """
-
-    last_sample: np.ndarray
-    last_energy: float
-    best_sample: np.ndarray
-    best_energy: float
-    num_sweeps: int
-    energy_trace: np.ndarray | None = None
+__all__ = ["AnnealResult", "PBitMachine"]
 
 
 class PBitMachine:
@@ -110,6 +91,52 @@ class PBitMachine:
         """Uniform random ±1 spin vector."""
         return self._rng.choice(np.array([-1.0, 1.0]), size=self.num_spins)
 
+    def anneal_many(
+        self,
+        beta_schedule,
+        num_replicas: int,
+        initial=None,
+        record_energy: bool = False,
+    ) -> BatchAnnealResult:
+        """Anneal ``num_replicas`` independent replicas in one call.
+
+        Parameters
+        ----------
+        beta_schedule:
+            Inverse temperature per sweep; its length is the number of
+            Monte-Carlo sweeps (MCS), shared by every replica.
+        num_replicas:
+            Number of independent replicas ``R``.
+        initial:
+            Starting spins of shape ``(R, n)``; random if omitted.
+        record_energy:
+            Store per-sweep energies in ``energy_traces`` (``(R, sweeps)``).
+
+        ``R = 1`` runs the bit-exact sequential reference kernel; ``R > 1``
+        runs the vectorized lock-step kernel (statistically equivalent).
+        """
+        betas = np.asarray(beta_schedule, dtype=float)
+        if betas.ndim != 1 or betas.size == 0:
+            raise ValueError("beta_schedule must be a non-empty 1-D sequence")
+        if num_replicas <= 0:
+            raise ValueError(f"num_replicas must be positive, got {num_replicas}")
+        n = self.num_spins
+        if initial is None:
+            states = self._rng.choice(
+                np.array([-1.0, 1.0]), size=(num_replicas, n)
+            )
+        else:
+            states = np.array(initial, dtype=float)
+            if states.shape != (num_replicas, n):
+                raise ValueError(
+                    f"initial must have shape ({num_replicas}, {n}), "
+                    f"got {states.shape}"
+                )
+        if num_replicas == 1:
+            run = self._anneal_serial(betas, states[0], record_energy)
+            return batch_from_runs([run])
+        return self._anneal_vectorized(betas, states, record_energy)
+
     def anneal(
         self,
         beta_schedule,
@@ -118,24 +145,31 @@ class PBitMachine:
     ) -> AnnealResult:
         """Run one annealed Gibbs-sampling pass (one "SA run" of the paper).
 
-        Parameters
-        ----------
-        beta_schedule:
-            Inverse temperature per sweep; its length is the number of
-            Monte-Carlo sweeps (MCS).
-        initial:
-            Starting spins; random if omitted.
-        record_energy:
-            Store the energy after every sweep in ``energy_trace``.
+        This is the ``R = 1`` view of :meth:`anneal_many`.
         """
-        betas = np.asarray(beta_schedule, dtype=float)
-        if betas.ndim != 1 or betas.size == 0:
-            raise ValueError("beta_schedule must be a non-empty 1-D sequence")
+        if initial is not None:
+            initial = np.asarray(initial, dtype=float)
+            if initial.shape != (self.num_spins,):
+                raise ValueError(
+                    f"initial must have shape ({self.num_spins},), "
+                    f"got {initial.shape}"
+                )
+            initial = initial[None, :]
+        return self.anneal_many(
+            beta_schedule, 1, initial=initial, record_energy=record_energy
+        ).per_run(0)
+
+    def anneal_batch(self, beta_schedule, num_runs: int, initial=None) -> list[AnnealResult]:
+        """Legacy list-shaped view of :meth:`anneal_many` (kept for compat)."""
+        return self.anneal_many(beta_schedule, num_runs, initial=initial).as_list()
+
+    def _anneal_serial(
+        self, betas: np.ndarray, spins: np.ndarray, record_energy: bool
+    ) -> AnnealResult:
+        """Sequential Gibbs reference kernel (bit-exact legacy path)."""
         n = self.num_spins
         coupling = self._coupling
-        spins = self.random_state() if initial is None else np.asarray(initial, dtype=float).copy()
-        if spins.shape != (n,):
-            raise ValueError(f"initial must have shape ({n},), got {spins.shape}")
+        spins = np.asarray(spins, dtype=float).copy()
 
         inputs = coupling @ spins + self._fields
         energy = ising_energy(self.model, spins)
@@ -169,65 +203,45 @@ class PBitMachine:
             energy_trace=trace,
         )
 
-    def anneal_batch(self, beta_schedule, num_runs: int, initial=None) -> list[AnnealResult]:
-        """Run ``num_runs`` independent annealing passes in lock-step.
+    def _anneal_vectorized(
+        self, betas: np.ndarray, states: np.ndarray, record_energy: bool
+    ) -> BatchAnnealResult:
+        """Lock-step replicas via the shared speculative-block kernel.
 
-        Vectorizes the per-spin Gibbs update across runs: at each (sweep,
-        spin) step every run updates the same spin index from its own state
-        and its own noise, which is exactly ``num_runs`` independent
-        sequential-Gibbs chains.
+        Exactly ``R`` independent sequential-Gibbs chains: every (sweep,
+        spin) step updates the same spin index in all replicas from each
+        replica's own state and noise.  The Gibbs rule
+        ``m_i = sign(tanh(beta I_i) + u)`` is applied as the equivalent
+        threshold test ``I_i >= -atanh(u) / beta``; the scan machinery
+        (speculative blocks, event-driven corrections, blocked field
+        updates) lives in :mod:`repro.ising._lockstep`.
         """
-        betas = np.asarray(beta_schedule, dtype=float)
-        if betas.ndim != 1 or betas.size == 0:
-            raise ValueError("beta_schedule must be a non-empty 1-D sequence")
-        if num_runs <= 0:
-            raise ValueError(f"num_runs must be positive, got {num_runs}")
-        n = self.num_spins
-        coupling = self._coupling
         rng = self._rng
+        num_replicas, n = states.shape
 
-        if initial is None:
-            states = rng.choice(np.array([-1.0, 1.0]), size=(num_runs, n))
-        else:
-            states = np.array(initial, dtype=float)
-            if states.shape != (num_runs, n):
-                raise ValueError(
-                    f"initial must have shape ({num_runs}, {n}), got {states.shape}"
-                )
+        def thresholds_for(beta):
+            noise = rng.uniform(-1.0, 1.0, size=(n, num_replicas))
+            if beta > 0.0:
+                # sign(tanh(beta I) + u) == +1  <=>  I >= -atanh(u) / beta
+                with np.errstate(divide="ignore"):
+                    return np.arctanh(noise) / (-beta)
+            return np.where(noise >= 0.0, -np.inf, np.inf)
 
-        inputs = states @ coupling + self._fields
-        model = self.model
-        energies = ising_energies(model, states)
-        best_energies = energies.copy()
-        best_states = states.copy()
+        def decide(taus_rows, input_rows, spin_rows):
+            return np.where(input_rows >= taus_rows, 1.0, -1.0) - spin_rows
 
-        for beta in betas:
-            noise = rng.uniform(-1.0, 1.0, size=(num_runs, n))
-            for i in range(n):
-                activation = np.tanh(beta * inputs[:, i]) + noise[:, i]
-                new_spins = np.where(activation >= 0.0, 1.0, -1.0)
-                delta = new_spins - states[:, i]
-                flipped = np.nonzero(delta)[0]
-                if flipped.size == 0:
-                    continue
-                energies[flipped] += 2.0 * states[flipped, i] * inputs[flipped, i]
-                states[flipped, i] = new_spins[flipped]
-                inputs[flipped] += delta[flipped, None] * coupling[i]
-            improved = energies < best_energies
-            if np.any(improved):
-                best_energies[improved] = energies[improved]
-                best_states[improved] = states[improved]
-
-        return [
-            AnnealResult(
-                last_sample=states[r].copy(),
-                last_energy=float(energies[r]),
-                best_sample=best_states[r].copy(),
-                best_energy=float(best_energies[r]),
-                num_sweeps=betas.size,
-            )
-            for r in range(num_runs)
-        ]
+        spins, energies, best_spins, best_energies, traces = lockstep_anneal(
+            self._coupling, self._fields, self._offset, betas, states,
+            thresholds_for, decide, record_energy=record_energy,
+        )
+        return BatchAnnealResult(
+            last_samples=spins.T.copy(),
+            last_energies=energies,
+            best_samples=best_spins.T.copy(),
+            best_energies=best_energies,
+            num_sweeps=betas.size,
+            energy_traces=traces,
+        )
 
     def sample_boltzmann(self, beta: float, num_sweeps: int, burn_in: int = 0,
                          initial=None) -> np.ndarray:

@@ -92,7 +92,11 @@ class QuantizedPBitMachine(PBitMachine):
     The coupling matrix is quantized once at construction (hardware burns it
     into the crossbar / LUTs); every ``set_fields`` call re-quantizes the new
     fields with the same full scale, emulating SAIM reprogramming a digital
-    IM between iterations.
+    IM between iterations.  Inherits the full
+    :class:`repro.ising.backend.AnnealingBackend` protocol — including the
+    vectorized ``anneal_many`` replica kernel — from :class:`PBitMachine`;
+    quantization happens entirely at programming time, so the batched path
+    samples the quantized Hamiltonian exactly like the serial one.
     """
 
     def __init__(self, model: IsingModel, bits: int, rng=None):

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.ising._lockstep import lockstep_anneal
+from repro.ising.backend import BatchAnnealResult, batch_from_runs
 from repro.ising.energy import ising_energy
 from repro.ising.model import IsingModel
 from repro.utils.rng import ensure_rng
@@ -35,10 +37,18 @@ class MetropolisMachine:
     """Metropolis-SA exposed through the programmable-IM interface.
 
     Demonstrates the paper's claim that SAIM works with *any* programmable
-    IM: this machine has the same ``set_fields`` / ``anneal`` surface as
+    IM: this machine implements the same
+    :class:`repro.ising.backend.AnnealingBackend` protocol as
     :class:`repro.ising.pbit.PBitMachine` but runs single-flip Metropolis
     instead of Gibbs sampling.  Pass it to
-    ``SelfAdaptiveIsingMachine(config, machine_factory=MetropolisMachine)``.
+    ``SelfAdaptiveIsingMachine(config, machine_factory=MetropolisMachine)``
+    or select it as ``repro.solve(..., backend="metropolis")``.
+
+    The serial path uses random-scan sweeps (one spin permutation per
+    sweep); the vectorized ``R > 1`` path uses systematic scan order shared
+    by all replicas (the p-bit machine's sweep style) so replicas stay in
+    lock-step — both are valid Metropolis chains with the same stationary
+    distribution.
     """
 
     def __init__(self, model: IsingModel, rng=None):
@@ -76,6 +86,70 @@ class MetropolisMachine:
             rng=self._rng,
             initial=initial,
             record_energy=record_energy,
+        )
+
+    def anneal_many(
+        self, beta_schedule, num_replicas: int, initial=None
+    ) -> BatchAnnealResult:
+        """Anneal ``num_replicas`` independent Metropolis replicas.
+
+        ``R = 1`` delegates to the serial random-scan reference; ``R > 1``
+        runs the lock-step vectorized kernel (systematic scan, speculative
+        block decisions — see :mod:`repro.ising.pbit` for the scheme, here
+        with the Metropolis acceptance rule ``m_i I_i < -log(u) / 2 beta``).
+        """
+        betas = np.asarray(beta_schedule, dtype=float)
+        if betas.ndim != 1 or betas.size == 0:
+            raise ValueError("beta_schedule must be a non-empty 1-D sequence")
+        if num_replicas <= 0:
+            raise ValueError(f"num_replicas must be positive, got {num_replicas}")
+        n = self.num_spins
+        if initial is None:
+            states = self._rng.choice(
+                np.array([-1.0, 1.0]), size=(num_replicas, n)
+            )
+        else:
+            states = np.array(initial, dtype=float)
+            if states.shape != (num_replicas, n):
+                raise ValueError(
+                    f"initial must have shape ({num_replicas}, {n}), "
+                    f"got {states.shape}"
+                )
+        if num_replicas == 1:
+            run = simulated_annealing(
+                self.model, betas, rng=self._rng, initial=states[0]
+            )
+            return batch_from_runs([run])
+        return self._anneal_vectorized(betas, states)
+
+    def _anneal_vectorized(
+        self, betas: np.ndarray, states: np.ndarray
+    ) -> BatchAnnealResult:
+        rng = self._rng
+        num_replicas, n = states.shape
+
+        def thresholds_for(beta):
+            uniforms = rng.uniform(1e-300, 1.0, size=(n, num_replicas))
+            # Accept a flip of spin i iff delta = 2 m_i I_i satisfies
+            # delta <= 0 or exp(-beta delta) > u; both collapse to the
+            # threshold test m_i I_i < -log(u) / (2 beta) since log(u) < 0.
+            with np.errstate(divide="ignore"):
+                return np.log(uniforms) / (-2.0 * beta)
+
+        def decide(thr_rows, input_rows, spin_rows):
+            flip = spin_rows * input_rows < thr_rows
+            return np.where(flip, -2.0 * spin_rows, 0.0)
+
+        spins, energies, best_spins, best_energies, _ = lockstep_anneal(
+            np.ascontiguousarray(self._coupling), self._fields, self._offset,
+            betas, states, thresholds_for, decide,
+        )
+        return BatchAnnealResult(
+            last_samples=spins.T.copy(),
+            last_energies=energies,
+            best_samples=best_spins.T.copy(),
+            best_energies=best_energies,
+            num_sweeps=betas.size,
         )
 
 

@@ -100,12 +100,27 @@ class ChromaticPBitMachine:
     Each sweep updates the color classes in order; within a class all p-bits
     fire simultaneously (vectorized), which is exact block Gibbs sampling
     because same-color spins are mutually uncoupled.
+
+    Implements the :class:`repro.ising.backend.AnnealingBackend` protocol
+    (``set_fields`` + ``anneal_many``), so SAIM can drive it like any other
+    programmable IM; :meth:`from_dense` adapts the dense models the SAIM
+    engine builds.  On a dense problem the coloring degenerates to one spin
+    per color (sequential Gibbs) — the machine's parallelism pays off on the
+    sparse topologies hardware p-bit arrays target.
     """
 
     def __init__(self, model: SparseIsingModel, rng=None):
         self._model = model
         self._colors = greedy_coloring(model)
+        # The coupling graph is fixed for the machine's lifetime (SAIM only
+        # reprograms fields), so the per-color row slices are built once.
+        self._color_rows = [model.coupling[color] for color in self._colors]
         self._rng = ensure_rng(rng)
+
+    @classmethod
+    def from_dense(cls, model, rng=None) -> "ChromaticPBitMachine":
+        """Build from a dense :class:`repro.ising.model.IsingModel`."""
+        return cls(SparseIsingModel.from_dense(model), rng=rng)
 
     @property
     def num_colors(self) -> int:
@@ -116,6 +131,25 @@ class ChromaticPBitMachine:
     def num_spins(self) -> int:
         """Number of p-bits."""
         return self._model.num_spins
+
+    @property
+    def model(self) -> SparseIsingModel:
+        """Current Hamiltonian (couplings shared, fields copied)."""
+        return SparseIsingModel(
+            self._model.coupling, self._model.fields.copy(), self._model.offset
+        )
+
+    def set_fields(self, fields, offset: float | None = None) -> None:
+        """Reprogram the linear fields ``h`` (and optionally the offset)."""
+        fields = np.asarray(fields, dtype=float)
+        if fields.shape != self._model.fields.shape:
+            raise ValueError(
+                f"fields must have shape {self._model.fields.shape}, "
+                f"got {fields.shape}"
+            )
+        self._model.fields = fields.copy()
+        if offset is not None:
+            self._model.offset = float(offset)
 
     def anneal(self, beta_schedule, initial=None):
         """Annealed chromatic Gibbs sampling; returns an ``AnnealResult``."""
@@ -134,12 +168,11 @@ class ChromaticPBitMachine:
             if spins.shape != (n,):
                 raise ValueError(f"initial must have shape ({n},)")
 
-        coupling = model.coupling
         best_energy = model.energy(spins)
         best_sample = spins.copy()
         for beta in betas:
-            for color in self._colors:
-                inputs = coupling[color] @ spins + model.fields[color]
+            for color, rows in zip(self._colors, self._color_rows):
+                inputs = rows @ spins + model.fields[color]
                 noise = rng.uniform(-1.0, 1.0, size=color.size)
                 spins[color] = np.where(
                     np.tanh(beta * inputs) + noise >= 0.0, 1.0, -1.0
@@ -153,6 +186,69 @@ class ChromaticPBitMachine:
             last_energy=model.energy(spins),
             best_sample=best_sample,
             best_energy=best_energy,
+            num_sweeps=betas.size,
+        )
+
+    def anneal_many(self, beta_schedule, num_replicas: int, initial=None):
+        """Anneal ``num_replicas`` independent chromatic-Gibbs replicas.
+
+        Vectorized over replicas *and* within each color class: one sweep
+        costs ``num_colors`` sparse matmuls regardless of replica count.
+        """
+        from repro.ising.backend import BatchAnnealResult
+
+        betas = np.asarray(beta_schedule, dtype=float)
+        if betas.ndim != 1 or betas.size == 0:
+            raise ValueError("beta_schedule must be a non-empty 1-D sequence")
+        if num_replicas <= 0:
+            raise ValueError(f"num_replicas must be positive, got {num_replicas}")
+        model = self._model
+        rng = self._rng
+        n = model.num_spins
+        if initial is None:
+            states = rng.choice(np.array([-1.0, 1.0]), size=(num_replicas, n))
+        else:
+            states = np.array(initial, dtype=float)
+            if states.shape != (num_replicas, n):
+                raise ValueError(
+                    f"initial must have shape ({num_replicas}, {n}), "
+                    f"got {states.shape}"
+                )
+
+        spins = np.ascontiguousarray(states.T)  # (n, R)
+        coupling = model.coupling
+        fields = model.fields
+        offset = model.offset
+
+        def batch_energies(s):
+            return (
+                -0.5 * np.einsum("ir,ir->r", s, coupling @ s)
+                - fields @ s
+                + offset
+            )
+
+        energies = batch_energies(spins)
+        best_energies = energies.copy()
+        best_spins = spins.copy()
+
+        for beta in betas:
+            for color, rows in zip(self._colors, self._color_rows):
+                inputs = rows @ spins + fields[color][:, None]
+                noise = rng.uniform(-1.0, 1.0, size=(color.size, num_replicas))
+                spins[color] = np.where(
+                    np.tanh(beta * inputs) + noise >= 0.0, 1.0, -1.0
+                )
+            energies = batch_energies(spins)
+            improved = energies < best_energies
+            if improved.any():
+                best_energies[improved] = energies[improved]
+                best_spins[:, improved] = spins[:, improved]
+
+        return BatchAnnealResult(
+            last_samples=spins.T.copy(),
+            last_energies=energies,
+            best_samples=best_spins.T.copy(),
+            best_energies=best_energies,
             num_sweeps=betas.size,
         )
 

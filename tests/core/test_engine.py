@@ -1,0 +1,162 @@
+"""Tests for the unified SAIM engine (repro.core.engine).
+
+The load-bearing guarantee: ``SaimEngine`` with ``num_replicas=1``
+reproduces the pre-engine serial solver bit-for-bit (the golden values below
+were captured from the legacy ``SelfAdaptiveIsingMachine`` loop before the
+refactor), and every config feature works identically at any replica count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import SaimEngine
+from repro.core.saim import SaimConfig, SelfAdaptiveIsingMachine
+from repro.ising.pt_machine import PTMachine
+from repro.problems.generators import generate_qkp
+from tests.helpers import tiny_knapsack_problem
+
+GOLDEN_CONFIG = SaimConfig(num_iterations=20, mcs_per_run=80, eta=80.0,
+                           eta_decay="sqrt", normalize_step=True)
+TINY = SaimConfig(num_iterations=15, mcs_per_run=100,
+                  eta=5.0, eta_decay="sqrt", normalize_step=True)
+
+
+class TestEngineValidation:
+    def test_rejects_bad_replicas(self):
+        with pytest.raises(ValueError):
+            SaimEngine(TINY, num_replicas=0)
+
+    def test_rejects_bad_aggregate(self):
+        with pytest.raises(ValueError):
+            SaimEngine(TINY, aggregate="median")
+
+    def test_default_config(self):
+        engine = SaimEngine()
+        assert engine.config.num_iterations == SaimConfig().num_iterations
+        assert engine.num_replicas == 1
+
+
+class TestSerialGoldenParity:
+    """Pinned against the legacy serial solver on a fixed seed.
+
+    These exact values were produced by the pre-refactor
+    ``SelfAdaptiveIsingMachine`` on this instance/seed; the engine's
+    ``num_replicas=1`` path must keep reproducing them bit-for-bit.
+    """
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        instance = generate_qkp(14, 0.5, rng=3)
+        return SaimEngine(GOLDEN_CONFIG, num_replicas=1).solve(
+            instance.to_problem(), rng=7
+        )
+
+    def test_best_cost(self, result):
+        assert result.best_cost == -2690.0
+
+    def test_final_lambdas(self, result):
+        assert result.final_lambdas.tolist() == [17.280833491648053]
+
+    def test_trace_costs_and_energies(self, result):
+        assert float(result.trace.sample_costs.sum()) == -45773.0
+        assert float(result.trace.energies.sum()) == -683.0732467131298
+
+    def test_feasibility_pattern(self, result):
+        assert result.trace.feasible.astype(int).tolist() == [
+            0, 1, 1, 0, 1, 0, 0, 1, 0, 1, 1, 0, 1, 0, 0, 1, 0, 1, 0, 1
+        ]
+        assert result.num_feasible == 10
+
+    def test_accounting(self, result):
+        assert result.num_iterations == 20
+        assert result.num_replicas == 1
+        assert result.total_mcs == 20 * 80
+
+    def test_legacy_shim_matches_engine(self, result):
+        instance = generate_qkp(14, 0.5, rng=3)
+        shim = SelfAdaptiveIsingMachine(GOLDEN_CONFIG).solve(
+            instance.to_problem(), rng=7
+        )
+        assert shim.best_cost == result.best_cost
+        np.testing.assert_array_equal(shim.final_lambdas, result.final_lambdas)
+        np.testing.assert_array_equal(
+            shim.trace.sample_costs, result.trace.sample_costs
+        )
+
+
+class TestReplicaFeatureParity:
+    """Every SaimConfig knob must work at any replica count."""
+
+    def test_schedule_honored_at_replicas(self):
+        config = SaimConfig(num_iterations=10, mcs_per_run=60, eta=5.0,
+                            schedule="geometric", eta_decay="sqrt",
+                            normalize_step=True)
+        result = SaimEngine(config, num_replicas=3).solve(
+            tiny_knapsack_problem(), rng=0
+        )
+        assert result.num_iterations == 10
+
+    def test_target_cost_early_exit_with_replicas(self):
+        config = SaimConfig(num_iterations=50, mcs_per_run=100, eta=5.0,
+                            eta_decay="sqrt", normalize_step=True,
+                            target_cost=-8.0)
+        result = SaimEngine(config, num_replicas=4).solve(
+            tiny_knapsack_problem(), rng=0
+        )
+        assert result.best_cost == pytest.approx(-8.0)
+        assert result.num_iterations < 50
+        assert result.total_mcs == result.num_iterations * 4 * 100
+
+    def test_patience_early_exit_with_replicas(self):
+        config = SaimConfig(num_iterations=200, mcs_per_run=100, eta=5.0,
+                            eta_decay="sqrt", normalize_step=True, patience=3)
+        result = SaimEngine(config, num_replicas=2).solve(
+            tiny_knapsack_problem(), rng=1
+        )
+        assert result.found_feasible
+        assert result.num_iterations < 200
+
+    def test_warm_started_lambdas_with_replicas(self):
+        result = SaimEngine(TINY, num_replicas=3).solve(
+            tiny_knapsack_problem(), rng=2, initial_lambdas=np.array([4.0])
+        )
+        assert result.found_feasible
+        # lambda history starts at the warm-start value
+        assert result.trace.lambdas[0, 0] == 4.0
+
+    def test_custom_factory_without_anneal_many_uses_fallback(self):
+        def factory(model, rng=None):
+            return PTMachine(model, rng=rng, num_replicas=4)
+
+        result = SaimEngine(TINY, num_replicas=2, machine_factory=factory).solve(
+            tiny_knapsack_problem(), rng=0
+        )
+        assert result.num_iterations == 15
+        assert result.num_replicas == 2
+
+    def test_mean_aggregate_with_replicas(self):
+        result = SaimEngine(TINY, num_replicas=4, aggregate="mean").solve(
+            tiny_knapsack_problem(), rng=1
+        )
+        assert result.found_feasible
+
+    def test_iteration_accounting_reports_k_not_k_times_r(self):
+        result = SaimEngine(TINY, num_replicas=4).solve(
+            tiny_knapsack_problem(), rng=0
+        )
+        assert result.num_iterations == 15
+        assert result.num_replicas == 4
+        assert result.total_mcs == 15 * 4 * 100
+        assert 0.0 <= result.feasible_ratio <= 1.0
+        assert result.trace.sample_costs.shape == (15,)
+
+    def test_replicas_not_worse_than_serial_incumbent(self):
+        """More replicas per iteration never hurt the seeded incumbent
+        search on the tiny instance (every replica is harvested)."""
+        serial = SaimEngine(TINY, num_replicas=1).solve(
+            tiny_knapsack_problem(), rng=3
+        )
+        parallel = SaimEngine(TINY, num_replicas=8).solve(
+            tiny_knapsack_problem(), rng=3
+        )
+        assert parallel.best_cost <= serial.best_cost

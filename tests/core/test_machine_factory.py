@@ -81,3 +81,27 @@ class TestSaimWithAlternativeMachines:
     def test_default_factory_is_pbit(self):
         saim = SelfAdaptiveIsingMachine(FAST)
         assert saim.machine_factory is PBitMachine
+
+    def test_minimal_legacy_contract_still_drives_saim(self):
+        """A machine with only set_fields + anneal(schedule) — the contract
+        the pre-engine docs promised — must keep working via the serial
+        fallback (no extra kwargs passed)."""
+
+        class MinimalMachine:
+            def __init__(self, model, rng=None):
+                self._inner = PBitMachine(model, rng=rng)
+
+            @property
+            def num_spins(self):
+                return self._inner.num_spins
+
+            def set_fields(self, fields, offset=None):
+                self._inner.set_fields(fields, offset)
+
+            def anneal(self, beta_schedule):
+                return self._inner.anneal(beta_schedule)
+
+        saim = SelfAdaptiveIsingMachine(FAST, machine_factory=MinimalMachine)
+        result = saim.solve(tiny_knapsack_problem(), rng=0)
+        assert result.found_feasible
+        assert result.best_cost == pytest.approx(-8.0)

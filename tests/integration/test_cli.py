@@ -84,6 +84,29 @@ class TestSolve:
         assert "SAIM penalty P" in capsys.readouterr().out
         assert code in (0, 1)
 
+    def test_explicit_replicas_keep_requested_iterations(self, qkp_file, capsys):
+        """--replicas on the plain saim solver must not silently divide the
+        user's --iterations (only --solver parallel-saim buys down)."""
+        code = main(["solve", str(qkp_file), "--replicas", "4",
+                     "--iterations", "40", "--mcs", "120"])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert f"({40 * 4 * 120} MCS total)" in out
+
+    def test_solve_backend_option(self, qkp_file, capsys):
+        code = main(["solve", str(qkp_file), "--backend", "metropolis",
+                     "--iterations", "40", "--mcs", "120"])
+        assert "SAIM penalty P" in capsys.readouterr().out
+        assert code in (0, 1)
+
+    def test_unknown_backend_rejected_cleanly(self, qkp_file):
+        with pytest.raises(SystemExit, match="unknown backend"):
+            main(["solve", str(qkp_file), "--backend", "gpu"])
+
+    def test_bad_replicas_rejected_cleanly(self, qkp_file):
+        with pytest.raises(SystemExit, match="--replicas must be >= 1"):
+            main(["solve", str(qkp_file), "--replicas", "0"])
+
     def test_solve_saim_pt(self, qkp_file, capsys):
         code = main(["solve", str(qkp_file), "--solver", "saim-pt",
                      "--iterations", "20", "--mcs", "80"])

@@ -1,0 +1,154 @@
+"""Tests for the registry-backed front door (repro.solve)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.penalty import PenaltyMethodResult
+from repro.core.saim import SaimConfig, SaimResult
+from repro.problems.generators import generate_qkp
+from tests.helpers import tiny_knapsack_problem
+
+FAST = dict(num_iterations=15, mcs_per_run=100, eta=5.0,
+            eta_decay="sqrt", normalize_step=True)
+
+
+class TestRegistry:
+    def test_default_methods_registered(self):
+        assert "saim" in repro.available_methods()
+        assert "penalty" in repro.available_methods()
+
+    def test_default_backends_registered(self):
+        for name in ("pbit", "metropolis", "quantized", "chromatic", "pt"):
+            assert name in repro.available_backends()
+
+    def test_unknown_method_lists_available(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            repro.solve(tiny_knapsack_problem(), method="quantum")
+
+    def test_unknown_backend_lists_available(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            repro.solve(tiny_knapsack_problem(), backend="dilution-fridge")
+
+    def test_custom_registration_round_trip(self):
+        def runner(problem, **kwargs):
+            return "sentinel"
+
+        repro.register_method("sentinel-method", runner)
+        try:
+            assert "sentinel-method" in repro.available_methods()
+            assert repro.solve(
+                tiny_knapsack_problem(), method="sentinel-method"
+            ) == "sentinel"
+        finally:
+            from repro import api
+
+            del api._METHODS["sentinel-method"]
+
+
+class TestSolveFrontDoor:
+    def test_solves_problem_object(self):
+        result = repro.solve(tiny_knapsack_problem(), rng=0, **FAST)
+        assert isinstance(result, SaimResult)
+        assert result.found_feasible
+        assert result.best_cost == pytest.approx(-8.0)
+
+    def test_accepts_instance_with_to_problem(self):
+        instance = generate_qkp(12, 0.5, rng=1)
+        result = repro.solve(instance, rng=1, **FAST)
+        assert isinstance(result, SaimResult)
+        if result.found_feasible:
+            assert instance.is_feasible(result.best_x)
+
+    def test_config_object_plus_overrides(self):
+        config = SaimConfig(**FAST)
+        result = repro.solve(
+            tiny_knapsack_problem(), config=config, num_iterations=7, rng=0
+        )
+        assert result.num_iterations == 7
+        assert result.mcs_per_run == 100
+
+    def test_config_dict(self):
+        result = repro.solve(
+            tiny_knapsack_problem(), config=dict(FAST), rng=0
+        )
+        assert result.num_iterations == 15
+
+    def test_bad_config_type_rejected(self):
+        with pytest.raises(TypeError):
+            repro.solve(tiny_knapsack_problem(), config=42)
+
+    def test_replicas_and_accounting(self):
+        result = repro.solve(
+            tiny_knapsack_problem(), num_replicas=4, rng=0, **FAST
+        )
+        assert result.num_replicas == 4
+        assert result.total_mcs == 15 * 4 * 100
+        assert result.num_iterations == 15
+
+    def test_matches_legacy_shim_bit_for_bit(self):
+        from repro.core.saim import SelfAdaptiveIsingMachine
+
+        instance = generate_qkp(14, 0.5, rng=3)
+        config = SaimConfig(**FAST)
+        front = repro.solve(instance, config=config, rng=7)
+        shim = SelfAdaptiveIsingMachine(config).solve(instance.to_problem(), rng=7)
+        assert front.best_cost == shim.best_cost
+        np.testing.assert_array_equal(front.final_lambdas, shim.final_lambdas)
+
+    @pytest.mark.parametrize("backend", ["pbit", "metropolis", "quantized",
+                                         "chromatic"])
+    def test_every_backend_solves_tiny_knapsack(self, backend):
+        result = repro.solve(
+            tiny_knapsack_problem(), backend=backend, rng=0, **FAST
+        )
+        assert isinstance(result, SaimResult)
+        assert result.found_feasible
+        assert result.best_cost == pytest.approx(-8.0)
+
+    def test_quantized_backend_options(self):
+        result = repro.solve(
+            tiny_knapsack_problem(), backend="quantized",
+            backend_options={"bits": 12}, rng=0, **FAST
+        )
+        assert result.found_feasible
+
+    def test_pt_backend_via_fallback(self):
+        result = repro.solve(
+            tiny_knapsack_problem(), backend="pt",
+            backend_options={"num_replicas": 4}, rng=0,
+            num_iterations=8, mcs_per_run=60, eta=5.0,
+            eta_decay="sqrt", normalize_step=True,
+        )
+        assert isinstance(result, SaimResult)
+
+    def test_penalty_method(self):
+        result = repro.solve(
+            tiny_knapsack_problem(), method="penalty",
+            num_iterations=40, mcs_per_run=100, rng=0,
+        )
+        assert isinstance(result, PenaltyMethodResult)
+        assert result.best_x is not None
+        assert result.num_runs == 40
+
+    def test_penalty_method_rejects_other_backends(self):
+        with pytest.raises(ValueError, match="'pbit' backend only"):
+            repro.solve(
+                tiny_knapsack_problem(), method="penalty",
+                backend="metropolis", num_iterations=5, mcs_per_run=20,
+            )
+
+    def test_penalty_method_rejects_replicas(self):
+        with pytest.raises(ValueError, match="no replica loop"):
+            repro.solve(
+                tiny_knapsack_problem(), method="penalty",
+                num_replicas=8, num_iterations=5, mcs_per_run=20,
+            )
+
+    def test_penalty_method_rejects_lambdas(self):
+        with pytest.raises(ValueError, match="no Lagrange multipliers"):
+            repro.solve(
+                tiny_knapsack_problem(), method="penalty",
+                initial_lambdas=np.zeros(1), num_iterations=5,
+                mcs_per_run=20,
+            )

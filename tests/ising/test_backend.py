@@ -1,0 +1,206 @@
+"""Contract and statistical tests for the AnnealingBackend protocol.
+
+Every machine must return array-shaped :class:`BatchAnnealResult` objects
+from ``anneal_many``, the batched kernels must be statistically equivalent
+to repeated serial runs (validated against exact Boltzmann weights on a tiny
+model), and the ``R = 1`` dispatch must stay bit-exact with the serial
+reference kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import constant_beta_schedule, linear_beta_schedule
+from repro.ising.backend import (
+    AnnealingBackend,
+    BatchAnnealResult,
+    batch_from_runs,
+    dispatch_anneal_many,
+)
+from repro.ising.exhaustive import enumerate_energies
+from repro.ising.pbit import PBitMachine
+from repro.ising.pt_machine import PTMachine
+from repro.ising.quantization import QuantizedPBitMachine
+from repro.ising.sa import MetropolisMachine
+from repro.ising.sparse import ChromaticPBitMachine, random_sparse_ising
+from tests.helpers import random_ising
+
+N = 10
+REPLICAS = 5
+SCHEDULE = linear_beta_schedule(3.0, 40)
+
+
+def _machines():
+    """One instance of each of the four protocol backends (dense model)."""
+    model = random_ising(N, rng=0)
+    return {
+        "pbit": PBitMachine(model, rng=1),
+        "metropolis": MetropolisMachine(model, rng=1),
+        "quantized": QuantizedPBitMachine(model, bits=10, rng=1),
+        "chromatic": ChromaticPBitMachine.from_dense(model, rng=1),
+    }
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize("name", ["pbit", "metropolis", "quantized",
+                                      "chromatic"])
+    def test_backends_satisfy_protocol(self, name):
+        machine = _machines()[name]
+        assert isinstance(machine, AnnealingBackend)
+        assert machine.num_spins == N
+
+    def test_pt_machine_usable_via_fallback(self):
+        machine = PTMachine(random_ising(N, rng=0), rng=3)
+        batch = dispatch_anneal_many(machine, SCHEDULE, 3)
+        assert isinstance(batch, BatchAnnealResult)
+        assert batch.last_samples.shape == (3, N)
+
+
+class TestBatchResultContract:
+    @pytest.mark.parametrize("name", ["pbit", "metropolis", "quantized",
+                                      "chromatic"])
+    def test_shapes_and_dtypes(self, name):
+        machine = _machines()[name]
+        batch = machine.anneal_many(SCHEDULE, REPLICAS)
+        assert isinstance(batch, BatchAnnealResult)
+        assert batch.num_replicas == REPLICAS
+        assert batch.num_spins == N
+        assert batch.last_samples.shape == (REPLICAS, N)
+        assert batch.best_samples.shape == (REPLICAS, N)
+        assert batch.last_energies.shape == (REPLICAS,)
+        assert batch.best_energies.shape == (REPLICAS,)
+        for arr in (batch.last_samples, batch.last_energies,
+                    batch.best_samples, batch.best_energies):
+            assert arr.dtype == np.float64
+        assert batch.num_sweeps == SCHEDULE.size
+        np.testing.assert_array_equal(np.abs(batch.last_samples), 1.0)
+        np.testing.assert_array_equal(np.abs(batch.best_samples), 1.0)
+
+    @pytest.mark.parametrize("name", ["pbit", "metropolis", "quantized",
+                                      "chromatic"])
+    def test_energies_consistent_with_samples(self, name):
+        machine = _machines()[name]
+        model = machine.model
+        batch = machine.anneal_many(SCHEDULE, REPLICAS)
+        for r in range(REPLICAS):
+            last = model.energy(batch.last_samples[r])
+            best = model.energy(batch.best_samples[r])
+            assert batch.last_energies[r] == pytest.approx(last, abs=1e-8)
+            assert batch.best_energies[r] == pytest.approx(best, abs=1e-8)
+            assert batch.best_energies[r] <= batch.last_energies[r] + 1e-9
+
+    def test_per_run_views_and_iteration(self):
+        machine = _machines()["pbit"]
+        batch = machine.anneal_many(SCHEDULE, 3)
+        runs = list(batch)
+        assert len(batch) == 3 and len(runs) == 3
+        for r, run in enumerate(runs):
+            np.testing.assert_array_equal(run.last_sample, batch.last_samples[r])
+            assert run.last_energy == batch.last_energies[r]
+            assert run.num_sweeps == batch.num_sweeps
+
+    def test_initial_state_shape_checked(self):
+        machine = _machines()["pbit"]
+        with pytest.raises(ValueError):
+            machine.anneal_many(SCHEDULE, 3, initial=np.ones((2, N)))
+
+    def test_batch_from_runs_round_trip(self):
+        machine = _machines()["pbit"]
+        runs = [machine.anneal(SCHEDULE) for _ in range(3)]
+        batch = batch_from_runs(runs)
+        assert batch.num_replicas == 3
+        np.testing.assert_array_equal(batch.last_samples[1], runs[1].last_sample)
+
+    def test_malformed_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            BatchAnnealResult(
+                last_samples=np.ones((2, 4)),
+                last_energies=np.zeros(3),  # wrong length
+                best_samples=np.ones((2, 4)),
+                best_energies=np.zeros(2),
+                num_sweeps=5,
+            )
+
+
+class TestSerialViewBitParity:
+    """``anneal`` must be the exact R=1 view of ``anneal_many``."""
+
+    def test_pbit_anneal_equals_anneal_many_r1(self):
+        model = random_ising(12, rng=4)
+        serial = PBitMachine(model, rng=77).anneal(SCHEDULE)
+        batch = PBitMachine(model, rng=77).anneal_many(SCHEDULE, 1)
+        np.testing.assert_array_equal(serial.last_sample, batch.last_samples[0])
+        np.testing.assert_array_equal(serial.best_sample, batch.best_samples[0])
+        assert serial.last_energy == batch.last_energies[0]
+        assert serial.best_energy == batch.best_energies[0]
+
+    def test_metropolis_anneal_equals_anneal_many_r1(self):
+        model = random_ising(12, rng=4)
+        serial = MetropolisMachine(model, rng=77).anneal(SCHEDULE)
+        batch = MetropolisMachine(model, rng=77).anneal_many(SCHEDULE, 1)
+        np.testing.assert_array_equal(serial.last_sample, batch.last_samples[0])
+        assert serial.last_energy == batch.last_energies[0]
+
+
+class TestBoltzmannEquivalence:
+    """Batched and repeated-serial sampling agree with exact eq. (11)."""
+
+    @staticmethod
+    def _exact_mean_energy(model, beta):
+        energies = enumerate_energies(model)
+        weights = np.exp(-beta * (energies - energies.min()))
+        weights /= weights.sum()
+        return float(weights @ energies)
+
+    def test_batched_pbit_matches_exact_boltzmann(self):
+        model = random_ising(4, rng=6, density=1.0)
+        beta = 0.7
+        exact = self._exact_mean_energy(model, beta)
+        # Long fixed-temperature schedule: the last sample is Boltzmann.
+        schedule = constant_beta_schedule(beta, 30)
+        machine = PBitMachine(model, rng=11)
+        batch = machine.anneal_many(schedule, 400)
+        batched_mean = float(batch.last_energies.mean())
+
+        serial_energies = [
+            PBitMachine(model, rng=500 + t).anneal(schedule).last_energy
+            for t in range(200)
+        ]
+        serial_mean = float(np.mean(serial_energies))
+
+        spread = float(np.std(batch.last_energies))
+        # Both execution paths within a few standard errors of the exact
+        # Boltzmann average (and of each other).
+        assert abs(batched_mean - exact) < 4.0 * spread / np.sqrt(400)
+        assert abs(serial_mean - exact) < 4.0 * spread / np.sqrt(200)
+
+    def test_batched_metropolis_matches_exact_boltzmann(self):
+        model = random_ising(4, rng=8, density=1.0)
+        beta = 0.7
+        exact = self._exact_mean_energy(model, beta)
+        schedule = constant_beta_schedule(beta, 30)
+        batch = MetropolisMachine(model, rng=13).anneal_many(schedule, 400)
+        spread = float(np.std(batch.last_energies))
+        assert abs(float(batch.last_energies.mean()) - exact) \
+            < 4.0 * spread / np.sqrt(400)
+
+    def test_batched_chromatic_matches_exact_boltzmann_on_sparse(self):
+        sparse_model = random_sparse_ising(8, degree=3, rng=5)
+        beta = 0.6
+        machine = ChromaticPBitMachine(sparse_model, rng=17)
+        assert machine.num_colors < 8  # genuinely parallel update groups
+        schedule = constant_beta_schedule(beta, 30)
+        batch = machine.anneal_many(schedule, 400)
+
+        # Exact Boltzmann average over all 2^8 states of the sparse model.
+        n = sparse_model.num_spins
+        codes = np.arange(2 ** n)
+        spins = 2.0 * ((codes[:, None] >> np.arange(n)) & 1) - 1.0
+        energies = np.array([sparse_model.energy(s) for s in spins])
+        weights = np.exp(-beta * (energies - energies.min()))
+        weights /= weights.sum()
+        exact = float(weights @ energies)
+
+        spread = float(np.std(batch.last_energies))
+        assert abs(float(batch.last_energies.mean()) - exact) \
+            < 4.0 * spread / np.sqrt(400)
