@@ -11,10 +11,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.experiments import Scale, qkp_saim_config, run_saim_on_qkp
+from repro.analysis.experiments import (
+    Scale,
+    default_max_workers,
+    qkp_saim_config,
+    run_qkp_suite,
+)
 from repro.analysis.stats import accuracy_percent
 from repro.analysis.tables import format_percent, render_table
-from repro.baselines.exact_qkp import reference_qkp_optimum
 from repro.core.encoding import encode_with_slacks, normalize_problem
 from repro.core.penalty import build_penalty_qubo, density_heuristic_penalty
 from repro.ising.parallel_tempering import parallel_tempering
@@ -48,16 +52,21 @@ def pt_da_accuracy(instance, reference_profit, num_sweeps, seed) -> float:
 
 
 def run_qkp_table(suite, scale: Scale, pt_sweeps: int, seed_base: int):
-    """Produce per-instance rows plus measured averages for a QKP table."""
+    """Produce per-instance rows plus measured averages for a QKP table.
+
+    The per-instance SAIM solves go through the sharded ``solve_many``
+    executor (``REPRO_WORKERS`` processes); the PT-DA comparator runs
+    serially in the parent afterwards.
+    """
     config = qkp_saim_config(scale)
+    seeds = [seed_base + index for index in range(len(suite))]
+    records = run_qkp_suite(
+        suite, config, seeds=seeds, max_workers=default_max_workers()
+    )
     rows = []
     sums = {"opt": [], "avg": [], "feas": [], "best": [], "pt": []}
-    for index, instance in enumerate(suite):
-        seed = seed_base + index
-        reference = reference_qkp_optimum(instance, rng=seed)
-        record = run_saim_on_qkp(instance, config, seed=seed,
-                                 reference_profit=reference)
-        reference = max(reference, record.reference_profit)
+    for seed, instance, record in zip(seeds, suite, records):
+        reference = record.reference_profit
         pt_acc = pt_da_accuracy(instance, reference, pt_sweeps, seed=seed + 7)
         rows.append([
             instance.name,

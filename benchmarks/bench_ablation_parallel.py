@@ -3,19 +3,24 @@
 Algorithm 1 is serial: one annealing run per multiplier update.  The
 replica-parallel variant spends the same total MCS but packs R runs into
 each iteration; on parallel hardware each iteration is one wall-clock anneal.
-This bench compares serial SAIM against R in {4, 8} at matched total MCS and
-reports the iteration count (the wall-clock proxy).
+This bench compares serial SAIM against R in {2, 4} at matched total MCS and
+reports the iteration count (the wall-clock proxy).  The grid runs as one
+``solve_many`` batch (``REPRO_WORKERS`` processes).
 """
 
 from dataclasses import replace
 
 import numpy as np
 
-import repro
-from repro.analysis.experiments import current_scale, qkp_saim_config
+from repro.analysis.experiments import (
+    current_scale,
+    default_max_workers,
+    qkp_saim_config,
+)
 from repro.analysis.tables import format_percent, render_table
 from repro.baselines.exact_qkp import reference_qkp_optimum
 from repro.problems.generators import paper_qkp_instance
+from repro.runtime import SolveJob, solve_many
 
 from _common import archive, run_once
 
@@ -27,20 +32,27 @@ def test_ablation_parallel(benchmark):
 
     def experiment():
         reference = reference_qkp_optimum(instance, rng=0)
-        outcomes = {}
 
-        serial = repro.solve(instance, config=serial_config, rng=21)
-        outcomes["serial (paper)"] = (
-            serial, serial_config.num_iterations, serial.total_mcs
-        )
-
+        variants = [("serial (paper)", serial_config, 1)]
         for replicas in (2, 4):
             iterations = max(2, serial_config.num_iterations // replicas)
-            base = replace(serial_config, num_iterations=iterations)
-            result = repro.solve(
-                instance, config=base, num_replicas=replicas, rng=21
+            variants.append((
+                f"parallel R={replicas}",
+                replace(serial_config, num_iterations=iterations),
+                replicas,
+            ))
+        jobs = [
+            SolveJob(problem=instance, config=config, num_replicas=replicas,
+                     rng=21, tag=label)
+            for label, config, replicas in variants
+        ]
+        report = solve_many(jobs, max_workers=default_max_workers())
+
+        outcomes = {}
+        for (label, config, _), result in zip(variants, report.results):
+            outcomes[label] = (
+                result, config.num_iterations, result.total_mcs
             )
-            outcomes[f"parallel R={replicas}"] = (result, iterations, result.total_mcs)
 
         for result, _, _ in outcomes.values():
             if result.found_feasible:

@@ -7,21 +7,27 @@ and couplings snapped onto n-bit fixed-point grids (see
 the algorithm survives on realistic digital hardware (Digital-Annealer-class
 machines use 16+ bits; FPGA p-bit fabrics often fewer).
 
-Uses SAIM's ``machine_factory`` hook: the quantized machine is a drop-in
-for the floating-point p-bit machine.
+Routes the bit-width grid through the ``"quantized"`` registry backend
+(``backend_options={"bits": n}``) as one ``solve_many`` batch
+(``REPRO_WORKERS`` processes): the quantized machine is a drop-in for the
+floating-point p-bit machine.
 """
 
 import numpy as np
 
-from repro.analysis.experiments import current_scale, qkp_saim_config
+from repro.analysis.experiments import (
+    current_scale,
+    default_max_workers,
+    qkp_saim_config,
+)
 from repro.analysis.tables import format_percent, render_table
 from repro.baselines.exact_qkp import reference_qkp_optimum
 from repro.core.encoding import encode_with_slacks, normalize_problem
 from repro.core.lagrangian import LagrangianIsing
 from repro.core.penalty import density_heuristic_penalty
-from repro.core.saim import SelfAdaptiveIsingMachine
-from repro.ising.quantization import QuantizedPBitMachine, quantization_error
+from repro.ising.quantization import quantization_error
 from repro.problems.generators import paper_qkp_instance
+from repro.runtime import SolveJob, solve_many
 
 from _common import archive, run_once
 
@@ -35,13 +41,15 @@ def test_ablation_precision(benchmark):
 
     def experiment():
         reference = reference_qkp_optimum(instance, rng=0)
+        jobs = [
+            SolveJob(problem=instance, backend="quantized",
+                     backend_options={"bits": bits}, config=config, rng=13,
+                     tag=f"{bits}-bit")
+            for bits in BIT_WIDTHS
+        ]
+        report = solve_many(jobs, max_workers=default_max_workers())
         results = {}
-        for bits in BIT_WIDTHS:
-            def factory(model, rng, bits=bits):
-                return QuantizedPBitMachine(model, bits=bits, rng=rng)
-
-            saim = SelfAdaptiveIsingMachine(config, machine_factory=factory)
-            result = saim.solve(instance.to_problem(), rng=13)
+        for bits, result in zip(BIT_WIDTHS, report.results):
             if result.found_feasible:
                 reference = max(reference, -result.best_cost)
             results[bits] = result

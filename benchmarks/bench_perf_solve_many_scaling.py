@@ -1,0 +1,155 @@
+"""Perf — worker-scaling throughput of the sharded ``solve_many`` executor.
+
+The executor's promise is that a batch of independent solve jobs (instances
+× seeds) costs one wall-clock shard per worker instead of a serial Python
+loop.  This bench runs the CI-scale QKP job suite through ``solve_many`` at
+1, 2 and 4 workers and reports jobs/sec and the speedup over the 1-worker
+(in-process, bit-identical-to-serial) baseline.
+
+Results are archived as ``benchmarks/output/BENCH_solve_many_scaling.json``
+so the scaling trajectory is tracked across PRs.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_perf_solve_many_scaling.py [--smoke]
+
+or through pytest-benchmark like the other benches::
+
+    REPRO_SCALE=ci PYTHONPATH=src python -m pytest benchmarks/bench_perf_solve_many_scaling.py
+
+Note the speedup ceiling is the *host's* CPU count: a 1-core container
+honestly reports ~1x whatever the worker count, so the scaling assertion
+only arms when >= 4 CPUs are available (as on the CI runners).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import OUTPUT_DIR  # noqa: E402
+
+from repro.core.saim import SaimConfig  # noqa: E402
+from repro.problems.generators import generate_qkp  # noqa: E402
+from repro.runtime import SolveJob, solve_many  # noqa: E402
+
+# (num_items, num_jobs, iterations, mcs_per_run) per scale.
+_SIZES = {
+    "smoke": (20, 4, 6, 60),
+    "ci": (60, 8, 30, 300),
+    "full": (100, 16, 80, 600),
+}
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _scale_name() -> str:
+    name = os.environ.get("REPRO_SCALE", "ci").lower()
+    return name if name in _SIZES else "ci"
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually schedule on."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def build_jobs(scale: str) -> list[SolveJob]:
+    """The CI-scale QKP suite: instances × seeds as executor jobs."""
+    num_items, num_jobs, iterations, mcs = _SIZES[scale]
+    config = SaimConfig(num_iterations=iterations, mcs_per_run=mcs,
+                        eta=80.0, eta_decay="sqrt", normalize_step=True)
+    instances = [
+        generate_qkp(num_items, 0.5, rng=100 + index)
+        for index in range(max(2, num_jobs // 4))
+    ]
+    return [
+        SolveJob(
+            problem=instances[index % len(instances)],
+            config=config,
+            rng=index,
+            tag=f"{instances[index % len(instances)].name} rng={index}",
+        )
+        for index in range(num_jobs)
+    ]
+
+
+def run_scaling(scale: str | None = None) -> dict:
+    """Measure solve_many throughput at each worker count; returns record."""
+    scale = scale or _scale_name()
+    jobs = build_jobs(scale)
+
+    # Warm-up: one in-process job pays numpy/BLAS first-call costs so the
+    # 1-worker baseline is not charged for them.
+    solve_many(jobs[:1], max_workers=1)
+
+    records = []
+    baseline_wall = None
+    baseline_costs = None
+    for workers in WORKER_COUNTS:
+        start = time.perf_counter()
+        report = solve_many(jobs, max_workers=workers)
+        wall = time.perf_counter() - start
+        costs = [result.best_cost for result in report.results]
+        if baseline_wall is None:
+            baseline_wall = wall
+            baseline_costs = costs
+        elif costs != baseline_costs:
+            raise AssertionError(
+                f"worker count changed results: {costs} != {baseline_costs}"
+            )
+        records.append({
+            "max_workers": workers,
+            "num_jobs": len(jobs),
+            "wall_seconds": wall,
+            "jobs_per_second": len(jobs) / wall,
+            "job_seconds_total": report.stats.job_seconds_total,
+            "speedup_vs_1_worker": baseline_wall / wall,
+            "best_cost": report.stats.best_cost,
+        })
+
+    report = {
+        "bench": "solve_many_scaling",
+        "scale": scale,
+        "timestamp": time.time(),
+        "available_cpus": available_cpus(),
+        "num_jobs": len(jobs),
+        "records": records,
+    }
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    out_path = OUTPUT_DIR / "BENCH_solve_many_scaling.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"\nsolve_many scaling on {len(jobs)} QKP jobs "
+          f"({scale} scale, {available_cpus()} CPUs available):")
+    for record in records:
+        print(f"  workers={record['max_workers']}: "
+              f"{record['wall_seconds']:8.2f} s wall  "
+              f"{record['jobs_per_second']:6.2f} jobs/s  "
+              f"({record['speedup_vs_1_worker']:.2f}x vs 1 worker)")
+    print(f"archived {out_path}")
+    return report
+
+
+def test_perf_solve_many_scaling(benchmark):
+    """Sharding must scale throughput when the host has the cores."""
+    report = benchmark.pedantic(
+        run_scaling, rounds=1, iterations=1, warmup_rounds=0
+    )
+    by_workers = {record["max_workers"]: record for record in report["records"]}
+    speedup = by_workers[4]["speedup_vs_1_worker"]
+    assert speedup > 0.0  # the path ran at every worker count
+    if report["scale"] != "smoke" and report["available_cpus"] >= 4:
+        # On a multi-core host (the CI runners) 4 workers must clearly beat
+        # the serial loop; on 1-2 core containers the measurement is an
+        # honest ~1x and asserting a speedup would only test the hardware.
+        assert speedup > 1.5, f"4 workers only {speedup:.2f}x vs 1 worker"
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        os.environ["REPRO_SCALE"] = "smoke"
+    run_scaling()

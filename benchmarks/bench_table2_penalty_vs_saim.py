@@ -15,13 +15,13 @@ import numpy as np
 
 from repro.analysis.experiments import (
     current_scale,
+    default_max_workers,
     qkp_saim_config,
-    run_saim_on_qkp,
+    run_qkp_suite,
     table2_suite,
 )
 from repro.analysis.stats import accuracies
 from repro.analysis.tables import format_percent, render_table
-from repro.baselines.exact_qkp import reference_qkp_optimum
 from repro.core.encoding import encode_with_slacks, normalize_problem
 from repro.core.penalty import (
     density_heuristic_penalty,
@@ -66,12 +66,15 @@ def test_table2_penalty_vs_saim(benchmark):
         collected = {"saim_best": [], "saim_avg": [], "saim_feas": [],
                      "pen_best": [], "pen_avg": [], "pen_feas": [],
                      "tuned_best": [], "tuned_avg": [], "tuned_feas": []}
-        for index, instance in enumerate(table2_suite(scale)):
-            reference = reference_qkp_optimum(instance, rng=index)
-            record = run_saim_on_qkp(
-                instance, config, seed=index, reference_profit=reference
-            )
-            reference = max(reference, record.reference_profit)
+        suite = table2_suite(scale)
+        # SAIM solves shard through the executor; the penalty-method
+        # comparators run serially in the parent below.
+        records = run_qkp_suite(
+            suite, config, seeds=list(range(len(suite))),
+            max_workers=default_max_workers(),
+        )
+        for index, (instance, record) in enumerate(zip(suite, records)):
+            reference = record.reference_profit
             same_budget, tuned, small_p, tuned_p = _penalty_columns(
                 instance, reference, config.num_iterations,
                 config.mcs_per_run, seed=1000 + index,

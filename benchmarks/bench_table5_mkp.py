@@ -12,8 +12,9 @@ import numpy as np
 
 from repro.analysis.experiments import (
     current_scale,
+    default_max_workers,
     mkp_saim_config,
-    run_saim_on_mkp,
+    run_mkp_suite,
     table5_suite,
 )
 from repro.analysis.tables import format_percent, render_table
@@ -35,8 +36,15 @@ def test_table5_mkp(benchmark):
         rows = []
         sums = {"opt": [], "best": [], "avg": [], "feas": [], "ga": [],
                 "bnb": []}
-        for index, instance in enumerate(table5_suite(scale)):
-            record = run_saim_on_mkp(instance, config, seed=500 + index)
+        suite = table5_suite(scale)
+        # SAIM solves shard through the executor (REPRO_WORKERS processes);
+        # the exact MILP references and the GA run in the parent.
+        records = run_mkp_suite(
+            suite, config,
+            seeds=[500 + index for index in range(len(suite))],
+            max_workers=default_max_workers(),
+        )
+        for index, (instance, record) in enumerate(zip(suite, records)):
             ga = chu_beasley_ga(instance, ga_config, rng=600 + index)
             ga_accuracy = 100.0 * ga.best_profit / record.optimum_profit
             rows.append([

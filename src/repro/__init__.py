@@ -18,6 +18,10 @@ Quickstart::
 solver loop (``"saim"``, ``"penalty"``), ``backend`` the annealing machine
 (``"pbit"``, ``"metropolis"``, ``"quantized"``, ``"chromatic"``, ``"pt"``),
 and ``num_replicas`` scales the batched replica-parallel engine.
+
+``repro.solve_many`` shards a batch of :class:`repro.runtime.SolveJob`
+declarations across worker processes and streams results back —
+``repro.sweep_backends`` builds multi-backend comparison tables on top.
 """
 
 from repro.api import (
@@ -27,6 +31,15 @@ from repro.api import (
     register_backend,
     register_method,
     solve,
+)
+from repro.runtime import (
+    JobOutcome,
+    SolveJob,
+    SolveJobError,
+    SolveManyReport,
+    SolveManyStats,
+    iter_solve_many,
+    solve_many,
 )
 from repro.core import (
     ConstrainedProblem,
@@ -64,10 +77,37 @@ from repro.problems import (
     paper_mkp_instance,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+# The sweep drivers live under repro.analysis, whose package import pulls in
+# the whole experiment harness; resolve them lazily so `import repro` (and
+# every executor worker process) stays light.
+_SWEEP_EXPORTS = ("ParameterSweep", "BackendSweep", "BackendSweepReport",
+                  "sweep_backends")
+
+
+def __getattr__(name):
+    if name in _SWEEP_EXPORTS:
+        from repro.analysis import sweep as _sweep
+
+        value = getattr(_sweep, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "solve",
+    "solve_many",
+    "iter_solve_many",
+    "SolveJob",
+    "JobOutcome",
+    "SolveJobError",
+    "SolveManyReport",
+    "SolveManyStats",
+    "ParameterSweep",
+    "BackendSweep",
+    "BackendSweepReport",
+    "sweep_backends",
     "available_backends",
     "available_methods",
     "make_backend_factory",

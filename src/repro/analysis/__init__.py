@@ -19,7 +19,13 @@ from repro.analysis.tts import (
     time_to_solution,
     saim_tts_from_trace,
 )
-from repro.analysis.sweep import ParameterSweep, SweepPoint
+from repro.analysis.sweep import (
+    BackendSweep,
+    BackendSweepReport,
+    ParameterSweep,
+    SweepPoint,
+    sweep_backends,
+)
 from repro.analysis.reference_cache import (
     ReferenceCache,
     cached_reference_qkp_optimum,
@@ -34,6 +40,7 @@ from repro.analysis.diagnostics import (
 from repro.analysis.experiments import (
     Scale,
     current_scale,
+    default_max_workers,
     qkp_saim_config,
     mkp_saim_config,
     table2_suite,
@@ -42,6 +49,10 @@ from repro.analysis.experiments import (
     table5_suite,
     run_saim_on_qkp,
     run_saim_on_mkp,
+    run_qkp_suite,
+    run_mkp_suite,
+    score_qkp_result,
+    score_mkp_result,
     QkpRunRecord,
     MkpRunRecord,
 )
@@ -62,6 +73,9 @@ __all__ = [
     "saim_tts_from_trace",
     "ParameterSweep",
     "SweepPoint",
+    "BackendSweep",
+    "BackendSweepReport",
+    "sweep_backends",
     "ReferenceCache",
     "cached_reference_qkp_optimum",
     "flip_rate_profile",
@@ -71,6 +85,7 @@ __all__ = [
     "boltzmann_distance",
     "Scale",
     "current_scale",
+    "default_max_workers",
     "qkp_saim_config",
     "mkp_saim_config",
     "table2_suite",
@@ -79,6 +94,10 @@ __all__ = [
     "table5_suite",
     "run_saim_on_qkp",
     "run_saim_on_mkp",
+    "run_qkp_suite",
+    "run_mkp_suite",
+    "score_qkp_result",
+    "score_mkp_result",
     "QkpRunRecord",
     "MkpRunRecord",
 ]

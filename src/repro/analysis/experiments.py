@@ -9,7 +9,10 @@ Owns two things:
   preset keeps the *structure* of the experiment identical — only instance
   sizes, instance counts, and MCS budgets shrink.
 - **Per-table instance suites and runners** returning uniform records that
-  the benchmark scripts format into the paper's tables.
+  the benchmark scripts format into the paper's tables.  The suite runners
+  (:func:`run_qkp_suite`, :func:`run_mkp_suite`) route their per-instance
+  solves through the sharded :func:`repro.runtime.solve_many` executor; set
+  ``REPRO_WORKERS=<n>`` to fan any table bench across ``n`` processes.
 """
 
 from __future__ import annotations
@@ -89,6 +92,18 @@ def current_scale() -> Scale:
             f"REPRO_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
         )
     return _SCALES[name]
+
+
+def default_max_workers() -> int:
+    """Executor worker count selected by ``REPRO_WORKERS`` (default 1)."""
+    raw = os.environ.get("REPRO_WORKERS", "1")
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_WORKERS must be an integer, got {raw!r}") from None
+    if workers < 1:
+        raise ValueError(f"REPRO_WORKERS must be >= 1, got {workers}")
+    return workers
 
 
 def qkp_saim_config(scale: Scale | None = None) -> SaimConfig:
@@ -196,6 +211,60 @@ class MkpRunRecord:
     total_mcs: int
 
 
+def _accuracy_triple(feasible_costs: np.ndarray, reference_cost: float):
+    """(best, average, optimality%) accuracies of a feasible-cost sample."""
+    if feasible_costs.size:
+        accs = accuracies(feasible_costs, reference_cost)
+        return (
+            float(accs.max()),
+            float(accs.mean()),
+            float(np.mean(accs >= 100.0 - 1e-9) * 100.0),
+        )
+    return float("nan"), float("nan"), 0.0
+
+
+def score_qkp_result(
+    instance: QkpInstance, result, reference_profit: float
+) -> QkpRunRecord:
+    """Fold one SAIM result into the paper's QKP reporting units.
+
+    ``reference_profit`` (OPT) is updated with SAIM's own best find so
+    accuracy never exceeds 100%.
+    """
+    if result.found_feasible:
+        reference_profit = max(reference_profit, -result.best_cost)
+    feasible_costs = np.array([record.cost for record in result.feasible_records])
+    best_acc, avg_acc, optimality = _accuracy_triple(
+        feasible_costs, -reference_profit
+    )
+    return QkpRunRecord(
+        instance_name=instance.name,
+        best_accuracy=best_acc,
+        average_accuracy=avg_acc,
+        feasible_percent=result.feasible_ratio * 100.0,
+        optimality_percent=optimality,
+        reference_profit=reference_profit,
+        total_mcs=result.total_mcs,
+        penalty=result.penalty,
+    )
+
+
+def score_mkp_result(instance: MkpInstance, result, exact) -> MkpRunRecord:
+    """Fold one SAIM result into the paper's MKP reporting units."""
+    feasible_costs = np.array([record.cost for record in result.feasible_records])
+    best_acc, avg_acc, optimality = _accuracy_triple(feasible_costs, -exact.profit)
+    return MkpRunRecord(
+        instance_name=instance.name,
+        best_accuracy=best_acc,
+        average_accuracy=avg_acc,
+        feasible_percent=result.feasible_ratio * 100.0,
+        optimality_percent=optimality,
+        optimum_profit=exact.profit,
+        exact_seconds=exact.solve_seconds,
+        total_mcs=result.total_mcs,
+    )
+
+
 def run_saim_on_qkp(
     instance: QkpInstance,
     config: SaimConfig | None = None,
@@ -216,33 +285,9 @@ def run_saim_on_qkp(
         instance, method="saim", backend=backend, config=config,
         num_replicas=num_replicas, rng=seed,
     )
-
     if reference_profit is None:
         reference_profit = reference_qkp_optimum(instance, rng=seed)
-    if result.found_feasible:
-        reference_profit = max(reference_profit, -result.best_cost)
-    reference_cost = -reference_profit
-
-    feasible_costs = np.array([record.cost for record in result.feasible_records])
-    if feasible_costs.size:
-        accs = accuracies(feasible_costs, reference_cost)
-        best_acc = float(accs.max())
-        avg_acc = float(accs.mean())
-        optimality = float(np.mean(accs >= 100.0 - 1e-9) * 100.0)
-    else:
-        best_acc = float("nan")
-        avg_acc = float("nan")
-        optimality = 0.0
-    return QkpRunRecord(
-        instance_name=instance.name,
-        best_accuracy=best_acc,
-        average_accuracy=avg_acc,
-        feasible_percent=result.feasible_ratio * 100.0,
-        optimality_percent=optimality,
-        reference_profit=reference_profit,
-        total_mcs=result.total_mcs,
-        penalty=result.penalty,
-    )
+    return score_qkp_result(instance, result, reference_profit)
 
 
 def run_saim_on_mkp(
@@ -259,25 +304,92 @@ def run_saim_on_mkp(
         instance, method="saim", backend=backend, config=config,
         num_replicas=num_replicas, rng=seed,
     )
+    return score_mkp_result(instance, result, exact)
 
-    optimum_cost = -exact.profit
-    feasible_costs = np.array([record.cost for record in result.feasible_records])
-    if feasible_costs.size:
-        accs = accuracies(feasible_costs, optimum_cost)
-        best_acc = float(accs.max())
-        avg_acc = float(accs.mean())
-        optimality = float(np.mean(accs >= 100.0 - 1e-9) * 100.0)
-    else:
-        best_acc = float("nan")
-        avg_acc = float("nan")
-        optimality = 0.0
-    return MkpRunRecord(
-        instance_name=instance.name,
-        best_accuracy=best_acc,
-        average_accuracy=avg_acc,
-        feasible_percent=result.feasible_ratio * 100.0,
-        optimality_percent=optimality,
-        optimum_profit=exact.profit,
-        exact_seconds=exact.solve_seconds,
-        total_mcs=result.total_mcs,
-    )
+
+def _suite_jobs(instances, config, seeds, backend, num_replicas):
+    from repro.runtime.executor import SolveJob
+
+    if seeds is None:
+        seeds = list(range(len(instances)))
+    seeds = list(seeds)
+    if len(seeds) != len(instances):
+        raise ValueError(
+            f"need one seed per instance: {len(seeds)} seeds for "
+            f"{len(instances)} instances"
+        )
+    jobs = [
+        SolveJob(
+            problem=instance,
+            method="saim",
+            backend=backend,
+            config=config,
+            num_replicas=num_replicas,
+            rng=seed,
+            tag=f"{instance.name} rng={seed}",
+        )
+        for instance, seed in zip(instances, seeds)
+    ]
+    return jobs, seeds
+
+
+def run_qkp_suite(
+    instances,
+    config: SaimConfig | None = None,
+    seeds=None,
+    backend: str = "pbit",
+    num_replicas: int = 1,
+    max_workers: int | None = None,
+    reference_profits=None,
+) -> list[QkpRunRecord]:
+    """Run SAIM on a QKP suite through the sharded executor.
+
+    One job per instance (``seeds`` defaults to ``range(len(instances))``),
+    fanned across ``max_workers`` processes (default: ``REPRO_WORKERS``).
+    With ``max_workers=1`` the records are identical to calling
+    :func:`run_saim_on_qkp` in a loop.
+    """
+    from repro.runtime.executor import solve_many
+
+    config = config or qkp_saim_config()
+    max_workers = default_max_workers() if max_workers is None else max_workers
+    jobs, seeds = _suite_jobs(instances, config, seeds, backend, num_replicas)
+    report = solve_many(jobs, max_workers=max_workers)
+    if reference_profits is None:
+        reference_profits = [
+            reference_qkp_optimum(instance, rng=seed)
+            for instance, seed in zip(instances, seeds)
+        ]
+    return [
+        score_qkp_result(instance, result, reference)
+        for instance, result, reference in zip(
+            instances, report.results, reference_profits
+        )
+    ]
+
+
+def run_mkp_suite(
+    instances,
+    config: SaimConfig | None = None,
+    seeds=None,
+    backend: str = "pbit",
+    num_replicas: int = 1,
+    max_workers: int | None = None,
+) -> list[MkpRunRecord]:
+    """Run SAIM on an MKP suite through the sharded executor.
+
+    The exact MILP references are solved in the parent process; the SAIM
+    solves shard across ``max_workers`` processes (default:
+    ``REPRO_WORKERS``).
+    """
+    from repro.runtime.executor import solve_many
+
+    config = config or mkp_saim_config()
+    max_workers = default_max_workers() if max_workers is None else max_workers
+    jobs, _ = _suite_jobs(instances, config, seeds, backend, num_replicas)
+    report = solve_many(jobs, max_workers=max_workers)
+    exacts = [solve_mkp_exact(instance) for instance in instances]
+    return [
+        score_mkp_result(instance, result, exact)
+        for instance, result, exact in zip(instances, report.results, exacts)
+    ]

@@ -1,8 +1,10 @@
-"""Generic parameter-sweep helper for experiments and ablations.
+"""Parameter sweeps for experiments and ablations, including the
+executor-backed multi-backend sweep driver.
 
-Runs a solver callable over the cartesian grid of named parameter values,
-collects per-point metrics, and renders the result as a table — the pattern
-every ablation benchmark follows, available to users for their own studies::
+:class:`ParameterSweep` runs a solver callable over the cartesian grid of
+named parameter values, collects per-point metrics, and renders the result
+as a table — the pattern every ablation benchmark follows, available to
+users for their own studies::
 
     sweep = ParameterSweep(
         runner=lambda eta, alpha: run_my_experiment(eta, alpha),
@@ -12,12 +14,27 @@ every ablation benchmark follows, available to users for their own studies::
     print(sweep.render(results, metrics=["accuracy", "feasible"]))
 
 The runner must return a mapping of metric name to value.
+
+:class:`BackendSweep` is the ``repro.solve``-backed specialization: its grid
+is *backend × replicas* over one problem, its points run through the sharded
+:func:`repro.runtime.solve_many` executor, and its table is the
+backend-comparison report the ablation benches used to hand-roll::
+
+    report = sweep_backends(
+        instance, backends=["pbit", "quantized", "chromatic"],
+        replicas=[1, 8], num_iterations=60, max_workers=4, rng=3,
+    )
+    print(report.table)
 """
 
 from __future__ import annotations
 
 import itertools
+import math
+import numbers
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.analysis.tables import render_table
 
@@ -28,6 +45,18 @@ class SweepPoint:
 
     params: dict
     metrics: dict
+
+
+def _is_nan_metric(value) -> bool:
+    """True for NaN-valued metrics of any float flavour (incl. numpy)."""
+    return isinstance(value, numbers.Real) and math.isnan(float(value))
+
+
+def _format_metric(value):
+    """Table cell for a metric; numpy scalars format like python ones."""
+    if isinstance(value, np.generic):
+        value = value.item()
+    return f"{value:.4g}" if isinstance(value, float) else value
 
 
 class ParameterSweep:
@@ -52,12 +81,18 @@ class ParameterSweep:
             count *= len(values)
         return count
 
+    def grid_points(self) -> list[dict]:
+        """Every parameter assignment, in grid order."""
+        names = list(self._grid)
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(self._grid[n] for n in names))
+        ]
+
     def run(self) -> list[SweepPoint]:
         """Evaluate the runner at every grid point, in grid order."""
-        names = list(self._grid)
         points = []
-        for combo in itertools.product(*(self._grid[name] for name in names)):
-            params = dict(zip(names, combo))
+        for params in self.grid_points():
             metrics = self._runner(**params)
             if not isinstance(metrics, dict):
                 raise TypeError(
@@ -77,16 +112,189 @@ class ParameterSweep:
         rows = []
         for point in points:
             row = [point.params[name] for name in names]
-            for metric in metrics:
-                value = point.metrics.get(metric)
-                row.append(f"{value:.4g}" if isinstance(value, float) else value)
+            row.extend(
+                _format_metric(point.metrics.get(metric)) for metric in metrics
+            )
             rows.append(row)
         return render_table(headers, rows, title=title)
 
     def best(self, points, metric: str, maximize: bool = True) -> SweepPoint:
-        """The grid point with the best value of ``metric``."""
-        scored = [p for p in points if p.metrics.get(metric) is not None]
+        """The grid point with the best value of ``metric``.
+
+        Points whose metric is missing or NaN are skipped — a NaN never
+        wins (or shadows) a real measurement.
+        """
+        scored = []
+        for point in points:
+            value = point.metrics.get(metric)
+            if value is None or _is_nan_metric(value):
+                continue
+            scored.append(point)
         if not scored:
-            raise ValueError(f"no point has metric {metric!r}")
+            raise ValueError(f"no point has a comparable metric {metric!r}")
         key = lambda p: p.metrics[metric]
         return max(scored, key=key) if maximize else min(scored, key=key)
+
+
+class BackendSweep(ParameterSweep):
+    """Backend × replica-count sweep of ``repro.solve`` over one problem.
+
+    Every grid point is one :class:`repro.runtime.SolveJob`; ``run`` shards
+    them through :func:`repro.runtime.solve_many`, so a multi-backend
+    comparison scales across processes like any other batch.
+
+    Parameters
+    ----------
+    problem:
+        Anything :func:`repro.solve` accepts (instance or problem object).
+    backends / replicas:
+        The grid axes: registry backend names × replica counts.
+    method / config / rng / config_overrides:
+        Shared solve settings applied to every point.  ``rng`` must be a
+        picklable seed when ``run(max_workers > 1)`` is used.
+    backend_options:
+        Per-backend builder options, keyed by backend name
+        (e.g. ``{"quantized": {"bits": 10}}``).
+    """
+
+    METRICS = ("best_cost", "feasible_pct", "total_mcs", "seconds")
+
+    def __init__(
+        self,
+        problem,
+        backends,
+        replicas=(1,),
+        method: str = "saim",
+        config=None,
+        rng=0,
+        backend_options: dict | None = None,
+        **config_overrides,
+    ):
+        backends = list(backends)
+        replicas = [int(r) for r in replicas]
+        super().__init__(
+            runner=self._solve_point,
+            grid={"backend": backends, "replicas": replicas},
+        )
+        unknown = set(backend_options or {}) - set(backends)
+        if unknown:
+            raise ValueError(
+                f"backend_options given for backends not in the sweep: "
+                f"{sorted(unknown)}"
+            )
+        self._problem = problem
+        self._method = method
+        self._config = config
+        self._rng = rng
+        self._backend_options = dict(backend_options or {})
+        self._config_overrides = dict(config_overrides)
+
+    def jobs(self) -> list:
+        """The sweep grid as executor jobs, in grid order."""
+        from repro.runtime.executor import SolveJob
+
+        return [
+            SolveJob(
+                problem=self._problem,
+                method=self._method,
+                backend=params["backend"],
+                config=self._config,
+                num_replicas=params["replicas"],
+                rng=self._rng,
+                backend_options=self._backend_options.get(params["backend"]),
+                config_overrides=self._config_overrides,
+                tag=f"{params['backend']} R={params['replicas']}",
+            )
+            for params in self.grid_points()
+        ]
+
+    def run(self, max_workers: int = 1, progress=None,
+            raise_on_error: bool = True) -> list[SweepPoint]:
+        """Run the grid through the sharded executor; points in grid order.
+
+        With ``raise_on_error=False`` a failed grid point becomes a row of
+        NaN metrics instead of aborting the sweep.
+        """
+        from repro.runtime.executor import solve_many
+
+        report = solve_many(
+            self.jobs(), max_workers=max_workers, progress=progress,
+            raise_on_error=raise_on_error,
+        )
+        return [
+            SweepPoint(
+                params=params,
+                metrics=self._metrics(outcome.result, outcome.seconds),
+            )
+            for params, outcome in zip(self.grid_points(), report.outcomes)
+        ]
+
+    def _solve_point(self, backend, replicas) -> dict:
+        # Runner hook for the base-class ParameterSweep.run() path: reuse
+        # the single job-construction site and solve just that grid cell.
+        from repro.runtime.executor import solve_many
+
+        job = next(
+            job for job in self.jobs()
+            if job.backend == backend and job.num_replicas == replicas
+        )
+        (outcome,) = solve_many([job], max_workers=1).outcomes
+        return self._metrics(outcome.result, outcome.seconds)
+
+    @staticmethod
+    def _metrics(result, seconds: float) -> dict:
+        feasible = getattr(result, "feasible_ratio", None)
+        return {
+            "best_cost": (
+                float(result.best_cost)
+                if getattr(result, "found_feasible", False)
+                else float("nan")
+            ),
+            "feasible_pct": (
+                100.0 * feasible if feasible is not None else float("nan")
+            ),
+            "total_mcs": int(getattr(result, "total_mcs", 0) or 0),
+            "seconds": float(seconds),
+        }
+
+
+@dataclass
+class BackendSweepReport:
+    """Points + rendered comparison table of one :class:`BackendSweep`."""
+
+    sweep: BackendSweep
+    points: list
+    table: str
+
+    def best(self, metric: str = "best_cost", maximize: bool = False):
+        """Best grid point (default: lowest cost), NaN points skipped."""
+        return self.sweep.best(self.points, metric, maximize=maximize)
+
+
+def sweep_backends(
+    problem,
+    backends,
+    replicas=(1,),
+    max_workers: int = 1,
+    title: str | None = None,
+    progress=None,
+    raise_on_error: bool = True,
+    **kwargs,
+) -> BackendSweepReport:
+    """One-call multi-backend comparison through the sharded executor.
+
+    Runs the ``backends × replicas`` grid on ``problem`` (extra keyword
+    arguments configure the shared solve, as in :class:`BackendSweep`) and
+    returns the points plus the rendered comparison table.  With
+    ``raise_on_error=False`` failed grid points render as NaN rows instead
+    of raising :class:`repro.runtime.SolveJobError`.
+    """
+    sweep = BackendSweep(problem, backends, replicas=replicas, **kwargs)
+    points = sweep.run(max_workers=max_workers, progress=progress,
+                       raise_on_error=raise_on_error)
+    if title is None:
+        name = getattr(problem, "name", "") or "problem"
+        title = f"Backend sweep on {name} ({max_workers} workers)"
+    table = sweep.render(points, metrics=list(BackendSweep.METRICS),
+                         title=title)
+    return BackendSweepReport(sweep=sweep, points=points, table=table)

@@ -36,10 +36,13 @@ _BACKENDS: dict = {}
 def register_method(name: str, runner) -> None:
     """Register a solver method.
 
-    ``runner(problem, config=..., backend=..., backend_factory=...,
-    num_replicas=..., aggregate=..., rng=..., initial_lambdas=...)`` must
-    return a result object (``backend`` is the registry name, for methods
-    that restrict which machines they support).
+    ``runner(problem, config=..., backend=..., num_replicas=...,
+    aggregate=..., rng=..., initial_lambdas=..., backend_options=...)``
+    must return a result object.  ``backend`` is the registry name and
+    ``backend_options`` the raw builder options: the method decides what
+    the machine knobs mean (``make_backend_factory(backend,
+    **backend_options)`` resolves them into a machine factory) and raises
+    on knobs it does not support.
     """
     _METHODS[name] = runner
 
@@ -143,17 +146,20 @@ def solve(
         raise ValueError(
             f"unknown method {method!r}; available: {available_methods()}"
         ) from None
-    factory = make_backend_factory(backend, **(backend_options or {}))
+    if backend not in _BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; available: {available_backends()}"
+        )
     resolved = _build_config(config, config_overrides)
     return runner(
         problem,
         config=resolved,
         backend=backend,
-        backend_factory=factory,
         num_replicas=num_replicas,
         aggregate=aggregate,
         rng=rng,
         initial_lambdas=initial_lambdas,
+        backend_options=backend_options,
     )
 
 
@@ -200,31 +206,37 @@ def _pt_builder(num_replicas: int = 8, beta_min: float = 0.1,
     return factory
 
 
-def _run_saim(problem, *, config, backend, backend_factory, num_replicas,
-              aggregate, rng, initial_lambdas):
-    del backend  # the factory fully identifies the machine
+def _run_saim(problem, *, config, backend, num_replicas, aggregate, rng,
+              initial_lambdas, backend_options):
     from repro.core.engine import SaimEngine
 
     engine = SaimEngine(
         config,
         num_replicas=num_replicas,
         aggregate=aggregate,
-        machine_factory=backend_factory,
+        machine_factory=make_backend_factory(
+            backend, **(backend_options or {})
+        ),
     )
     return engine.solve(problem, rng=rng, initial_lambdas=initial_lambdas)
 
 
-def _run_penalty(problem, *, config, backend, backend_factory, num_replicas,
-                 aggregate, rng, initial_lambdas):
+def _run_penalty(problem, *, config, backend, num_replicas, aggregate, rng,
+                 initial_lambdas, backend_options):
     # The classical fixed-penalty baseline: one programmed Hamiltonian,
     # num_iterations independent annealing runs, no multiplier loop.  It
     # is hard-wired to p-bit batch annealing, so reject knobs it would
     # otherwise silently ignore.
-    del backend_factory, aggregate
+    del aggregate
     if backend != "pbit":
         raise ValueError(
             f"the penalty method runs on the 'pbit' backend only, "
             f"got {backend!r}"
+        )
+    if backend_options:
+        raise ValueError(
+            "the penalty method accepts no backend_options; its p-bit "
+            f"machine has no builder knobs (got {sorted(backend_options)})"
         )
     if num_replicas != 1:
         raise ValueError(

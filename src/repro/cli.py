@@ -6,10 +6,14 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro.cli solve out.qkp --solver saim --iterations 150
     python -m repro.cli solve out.qkp --replicas 8 --backend quantized
     python -m repro.cli solve instance.mkp --solver exact
+    python -m repro.cli sweep out.qkp --backends pbit,quantized \
+        --replicas 1,8 --workers 4
 
 SAIM-family solvers go through the :func:`repro.solve` front door, so any
 registered backend (``--backend``) and replica count (``--replicas``) is
-available from the command line.
+available from the command line.  ``sweep`` runs the backend × replica grid
+through the sharded :func:`repro.solve_many` executor and prints one
+comparison table.
 
 Formats are auto-detected from the extension (``.qkp`` / ``.mkp``); see
 :mod:`repro.problems.io`.
@@ -67,6 +71,29 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="SAIM iterations / penalty runs")
     solve.add_argument("--mcs", type=int, default=400, help="MCS per run")
     solve.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="compare backends x replica counts on one instance "
+             "(sharded across --workers processes)",
+    )
+    sweep.add_argument("path", type=Path)
+    sweep.add_argument(
+        "--backends", default="pbit",
+        help="comma-separated backend names (see repro.available_backends())",
+    )
+    sweep.add_argument(
+        "--replicas", default="1",
+        help="comma-separated replica counts, e.g. 1,8,32",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the solve_many executor",
+    )
+    sweep.add_argument("--iterations", type=int, default=150,
+                       help="SAIM iterations per grid point")
+    sweep.add_argument("--mcs", type=int, default=400, help="MCS per run")
+    sweep.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -82,9 +109,91 @@ def _load_instance(path: Path):
     raise SystemExit(f"unknown instance format {suffix!r} (use .qkp or .mkp)")
 
 
-def _solve(args) -> int:
+def _scaled_config(kind: str, iterations: int, mcs: int):
+    """The paper's Table I config scaled to the requested CLI budget."""
+    from dataclasses import replace
+
     from repro.core.saim import SaimConfig
 
+    if kind == "qkp":
+        config = SaimConfig.qkp_paper().scaled(iterations / 2000, mcs / 1000)
+        return replace(config, eta=80.0, eta_decay="sqrt", normalize_step=True)
+    return SaimConfig.mkp_paper().scaled(
+        iterations / 5000, mcs / 1000, compensate_eta=True
+    )
+
+
+def _parse_csv(text: str, kind: str, cast):
+    values = [item.strip() for item in text.split(",") if item.strip()]
+    if not values:
+        raise SystemExit(f"--{kind} must list at least one value")
+    try:
+        return [cast(item) for item in values]
+    except ValueError:
+        raise SystemExit(f"--{kind} has a malformed entry in {text!r}") from None
+
+
+def _sweep(args) -> int:
+    import repro
+
+    instance, kind = _load_instance(args.path)
+    print(f"Loaded {kind.upper()} instance {instance.name!r} "
+          f"({instance.num_items} items)")
+
+    backends = _parse_csv(args.backends, "backends", str)
+    for backend in backends:
+        if backend not in repro.available_backends():
+            raise SystemExit(
+                f"unknown backend {backend!r}; choose from "
+                f"{', '.join(repro.available_backends())}"
+            )
+    replicas = _parse_csv(args.replicas, "replicas", int)
+    if any(r < 1 for r in replicas):
+        raise SystemExit("--replicas entries must be >= 1")
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+
+    config = _scaled_config(kind, args.iterations, args.mcs)
+    done = {"count": 0, "failed": 0}
+    total = len(backends) * len(replicas)
+
+    def progress(outcome):
+        done["count"] += 1
+        if not outcome.ok:
+            done["failed"] += 1
+        status = "ok" if outcome.ok else "FAILED"
+        print(f"  [{done['count']}/{total}] {outcome.job.tag}: {status} "
+              f"({outcome.seconds:.2f}s)")
+
+    report = repro.sweep_backends(
+        instance,
+        backends=backends,
+        replicas=replicas,
+        max_workers=args.workers,
+        config=config,
+        rng=args.seed,
+        progress=progress,
+        raise_on_error=False,  # failed cells become NaN rows, not a crash
+        title=f"Backend sweep on {instance.name} "
+              f"({args.iterations} iterations, {args.workers} workers)",
+    )
+    print()
+    print(report.table)
+    if done["failed"]:
+        print(f"{done['failed']} grid point(s) failed (NaN rows above)")
+        return 1
+    try:
+        best = report.best()
+    except ValueError:
+        print("no grid point found a feasible sample - increase --iterations")
+        return 1
+    print(f"best: backend={best.params['backend']} "
+          f"R={best.params['replicas']} "
+          f"profit {-best.metrics['best_cost']:.0f}")
+    return 0
+
+
+def _solve(args) -> int:
     instance, kind = _load_instance(args.path)
     print(f"Loaded {kind.upper()} instance {instance.name!r} "
           f"({instance.num_items} items)")
@@ -152,19 +261,9 @@ def _solve(args) -> int:
 
     # SAIM variants — all routed through the repro.solve front door.
     import repro
-
-    if kind == "qkp":
-        config = SaimConfig.qkp_paper().scaled(
-            args.iterations / 2000, args.mcs / 1000
-        )
-    else:
-        config = SaimConfig.mkp_paper().scaled(
-            args.iterations / 5000, args.mcs / 1000, compensate_eta=True
-        )
     from dataclasses import replace
 
-    config = replace(config, eta=80.0, eta_decay="sqrt", normalize_step=True) \
-        if kind == "qkp" else config
+    config = _scaled_config(kind, args.iterations, args.mcs)
 
     backend = args.backend or ("pt" if args.solver == "saim-pt" else "pbit")
     if backend not in repro.available_backends():
@@ -231,6 +330,9 @@ def main(argv=None) -> int:
         write_mkp(instance, args.path)
         print(f"wrote {args.path}")
         return 0
+
+    if args.command == "sweep":
+        return _sweep(args)
 
     return _solve(args)
 

@@ -149,7 +149,15 @@ class SaimEngine:
                 lagrangian.fields_for(lambdas), lagrangian.offset_for(lambdas)
             )
             batch = dispatch_anneal_many(machine, schedule, replicas)
-            samples = batch.best_samples if config.read_best else batch.last_samples
+            # One coherent read-out view: with read_best the consumed samples
+            # AND the energies that rank/trace them come from the per-replica
+            # best, never mixed with the last-sweep arrays.
+            if config.read_best:
+                samples = batch.best_samples
+                readout_energies = batch.best_energies
+            else:
+                samples = batch.last_samples
+                readout_energies = batch.last_energies
             xs_ext = ((np.asarray(samples) + 1) / 2).astype(np.int8)
 
             # Harvest every replica's read-out for the incumbent.
@@ -166,13 +174,13 @@ class SaimEngine:
                     improved = True
 
             # The lead replica feeds the trace and (for "best") the update.
-            lead = int(np.argmin(batch.last_energies)) if replicas > 1 else 0
+            lead = int(np.argmin(readout_energies)) if replicas > 1 else 0
             if self.aggregate == "mean" and replicas > 1:
                 lead = 0
             x_lead = restricted[lead]
             cost_lead = source.objective(x_lead)
             sample_costs[k] = cost_lead
-            energies[k] = batch.last_energies[lead]
+            energies[k] = readout_energies[lead]
             if feasible[lead]:
                 feasible_mask[k] = True
                 feasible_records.append(

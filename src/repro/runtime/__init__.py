@@ -1,0 +1,21 @@
+"""Runtime layer: sharded batch execution of front-door solve jobs."""
+
+from repro.runtime.executor import (
+    JobOutcome,
+    SolveJob,
+    SolveJobError,
+    SolveManyReport,
+    SolveManyStats,
+    iter_solve_many,
+    solve_many,
+)
+
+__all__ = [
+    "SolveJob",
+    "JobOutcome",
+    "SolveJobError",
+    "SolveManyReport",
+    "SolveManyStats",
+    "iter_solve_many",
+    "solve_many",
+]

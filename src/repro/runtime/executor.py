@@ -1,0 +1,311 @@
+"""Sharded batch execution of :func:`repro.solve` jobs.
+
+The paper's pitch is massively parallel Ising hardware; in software the
+matching axis of parallelism is *across solves* — instances, seeds, methods,
+backends, configurations are all independent once a job is specified.  This
+module turns the pure front door into a batch service entry point:
+
+- :class:`SolveJob` declares one solve — everything :func:`repro.solve`
+  accepts, as picklable data (backends by registry *name*, seeds as ints).
+- :func:`iter_solve_many` fans a list of jobs across a
+  ``ProcessPoolExecutor`` and yields :class:`JobOutcome` objects *as they
+  complete*, so callers can stream results.
+- :func:`solve_many` consumes the stream, restores job order, and aggregates
+  wall-time/quality statistics into a :class:`SolveManyReport`.
+
+With ``max_workers=1`` no processes are spawned: jobs run in-process, in
+order, and the results are bit-identical to looping ``repro.solve`` by hand
+(this is also the path tests use, and the only path that accepts
+non-picklable job fields such as live ``numpy`` generators).
+
+Picklability contract
+---------------------
+With ``max_workers > 1`` every job is executed in a worker process, so each
+job's fields must pickle, and the job's *backend name* must resolve in the
+worker's registry.  The built-in backends register at ``import repro`` time
+and always resolve; custom backends registered dynamically via
+``repro.register_backend`` from ``__main__`` or a REPL exist only in the
+parent process — register them at import time of a module importable by the
+workers, or run with ``max_workers=1``.
+
+Usage::
+
+    import repro
+    from repro.runtime import SolveJob, solve_many
+
+    jobs = [
+        SolveJob(problem=inst, backend=b, num_replicas=r, rng=seed,
+                 config_overrides={"num_iterations": 80})
+        for b in ("pbit", "quantized")
+        for r in (1, 8)
+        for seed in range(4)
+    ]
+    report = repro.solve_many(jobs, max_workers=4)
+    print(report.stats.speedup_vs_serial)
+    best = min(r.best_cost for r in report.results)
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+import traceback
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SolveJob:
+    """One declarative :func:`repro.solve` call.
+
+    Attributes mirror the front door's signature; ``config_overrides`` are
+    the keyword overrides (``num_iterations=...`` etc.) merged onto
+    ``config``, and ``tag`` is a free-form label carried into reports and
+    error messages.
+    """
+
+    problem: object
+    method: str = "saim"
+    backend: str = "pbit"
+    config: object = None
+    num_replicas: int = 1
+    aggregate: str = "best"
+    rng: object = None
+    initial_lambdas: object = None
+    backend_options: dict | None = None
+    config_overrides: dict = field(default_factory=dict)
+    tag: str = ""
+
+    def label(self, index: int) -> str:
+        """Human-readable identity of the job (for logs and errors)."""
+        if self.tag:
+            return self.tag
+        name = getattr(self.problem, "name", "") or "problem"
+        return (f"job[{index}] {name} method={self.method} "
+                f"backend={self.backend} R={self.num_replicas} rng={self.rng}")
+
+
+@dataclass
+class JobOutcome:
+    """Result of executing one :class:`SolveJob`.
+
+    Exactly one of ``result`` / ``error`` is set; ``error`` is the worker's
+    formatted traceback (exceptions cross the process boundary as text so
+    unpicklable exception objects cannot poison the pool).
+    """
+
+    index: int
+    job: SolveJob
+    result: object = None
+    error: str | None = None
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True iff the job completed without raising."""
+        return self.error is None
+
+
+class SolveJobError(RuntimeError):
+    """A job in a :func:`solve_many` batch raised; carries the outcome."""
+
+    def __init__(self, outcome: JobOutcome):
+        self.outcome = outcome
+        super().__init__(
+            f"{outcome.job.label(outcome.index)} failed:\n{outcome.error}"
+        )
+
+
+@dataclass(frozen=True)
+class SolveManyStats:
+    """Wall-time and quality aggregate of one batch.
+
+    ``job_seconds_total`` is the sum of per-job solve times — what a serial
+    loop would have cost — so ``speedup_vs_serial`` is the sharding win.
+    Quality fields summarize successful results exposing ``best_cost``
+    (``nan`` when no job produced a feasible incumbent).
+    """
+
+    num_jobs: int
+    num_ok: int
+    num_failed: int
+    wall_seconds: float
+    job_seconds_total: float
+    jobs_per_second: float
+    speedup_vs_serial: float
+    best_cost: float
+    mean_best_cost: float
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.num_ok}/{self.num_jobs} jobs ok in "
+            f"{self.wall_seconds:.2f}s wall "
+            f"({self.jobs_per_second:.2f} jobs/s, "
+            f"{self.speedup_vs_serial:.2f}x vs serial); "
+            f"best cost {self.best_cost:g}"
+        )
+
+
+@dataclass
+class SolveManyReport:
+    """Outcomes (in job order) plus aggregate stats of one batch."""
+
+    outcomes: list
+    stats: SolveManyStats
+
+    @property
+    def results(self) -> list:
+        """Per-job results in job order (``None`` for failed jobs)."""
+        return [outcome.result for outcome in self.outcomes]
+
+    def failed(self) -> list:
+        """Outcomes of jobs that raised."""
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+
+def _execute_job(index: int, job: SolveJob) -> JobOutcome:
+    """Run one job; module-level so worker processes can unpickle it."""
+    from repro.api import solve
+
+    start = time.perf_counter()
+    try:
+        result = solve(
+            job.problem,
+            method=job.method,
+            backend=job.backend,
+            config=job.config,
+            num_replicas=job.num_replicas,
+            aggregate=job.aggregate,
+            rng=job.rng,
+            initial_lambdas=job.initial_lambdas,
+            backend_options=job.backend_options,
+            **(job.config_overrides or {}),
+        )
+        error = None
+    except Exception:
+        result = None
+        error = traceback.format_exc()
+    return JobOutcome(
+        index=index,
+        job=job,
+        result=result,
+        error=error,
+        seconds=time.perf_counter() - start,
+    )
+
+
+def _check_jobs(jobs) -> list:
+    jobs = list(jobs)
+    for index, job in enumerate(jobs):
+        if not isinstance(job, SolveJob):
+            raise TypeError(
+                f"jobs[{index}] must be a SolveJob, got {type(job).__name__}"
+            )
+    return jobs
+
+
+def iter_solve_many(jobs, max_workers: int = 1):
+    """Execute jobs and yield :class:`JobOutcome` objects as they complete.
+
+    ``max_workers=1`` runs in-process, in job order (deterministically
+    identical to a plain ``repro.solve`` loop); ``max_workers > 1`` shards
+    across a ``ProcessPoolExecutor`` and yields in *completion* order — read
+    ``outcome.index`` to restore job order.  Failures are reported in the
+    outcome's ``error`` field, never raised from here.
+    """
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    jobs = _check_jobs(jobs)
+    if not jobs:
+        return
+    if max_workers == 1 or len(jobs) == 1:
+        for index, job in enumerate(jobs):
+            yield _execute_job(index, job)
+        return
+    workers = min(max_workers, len(jobs))
+    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            pool.submit(_execute_job, index, job): (index, job)
+            for index, job in enumerate(jobs)
+        }
+        for future in concurrent.futures.as_completed(futures):
+            try:
+                yield future.result()
+            except Exception:
+                # Failures that bypass the worker's own error capture —
+                # submit-side pickling errors, a crashed pool — still come
+                # back through the outcome channel, not as a raw raise.
+                index, job = futures[future]
+                yield JobOutcome(
+                    index=index, job=job, error=traceback.format_exc()
+                )
+
+
+def solve_many(
+    jobs,
+    max_workers: int = 1,
+    raise_on_error: bool = True,
+    progress=None,
+) -> SolveManyReport:
+    """Solve a batch of jobs, sharded across processes; aggregate stats.
+
+    Parameters
+    ----------
+    jobs:
+        Iterable of :class:`SolveJob`.
+    max_workers:
+        Process count; ``1`` (default) runs in-process and bit-identical to
+        a serial ``repro.solve`` loop.
+    raise_on_error:
+        When true (default) the first failed job raises
+        :class:`SolveJobError` after the batch drains; when false, failures
+        are recorded per-outcome and execution continues.
+    progress:
+        Optional callback invoked with each :class:`JobOutcome` as it
+        completes (streaming hook for CLIs and services).
+
+    Returns a :class:`SolveManyReport` with outcomes in *job* order.
+    """
+    jobs = _check_jobs(jobs)
+    start = time.perf_counter()
+    outcomes: list[JobOutcome | None] = [None] * len(jobs)
+    for outcome in iter_solve_many(jobs, max_workers=max_workers):
+        outcomes[outcome.index] = outcome
+        if progress is not None:
+            progress(outcome)
+    wall = time.perf_counter() - start
+    if raise_on_error:
+        for outcome in outcomes:
+            if outcome is not None and not outcome.ok:
+                raise SolveJobError(outcome)
+    stats = _aggregate(outcomes, wall)
+    return SolveManyReport(outcomes=outcomes, stats=stats)
+
+
+def _aggregate(outcomes, wall_seconds: float) -> SolveManyStats:
+    num_jobs = len(outcomes)
+    ok = [o for o in outcomes if o is not None and o.ok]
+    job_seconds = float(sum(o.seconds for o in outcomes if o is not None))
+    best_costs = []
+    for outcome in ok:
+        cost = getattr(outcome.result, "best_cost", None)
+        found = getattr(outcome.result, "found_feasible", cost is not None)
+        if cost is not None and found and np.isfinite(cost):
+            best_costs.append(float(cost))
+    return SolveManyStats(
+        num_jobs=num_jobs,
+        num_ok=len(ok),
+        num_failed=num_jobs - len(ok),
+        wall_seconds=wall_seconds,
+        job_seconds_total=job_seconds,
+        jobs_per_second=(num_jobs / wall_seconds) if wall_seconds > 0 else 0.0,
+        speedup_vs_serial=(
+            job_seconds / wall_seconds if wall_seconds > 0 else 0.0
+        ),
+        best_cost=min(best_costs) if best_costs else float("nan"),
+        mean_best_cost=(
+            float(np.mean(best_costs)) if best_costs else float("nan")
+        ),
+    )

@@ -6,8 +6,11 @@ import pytest
 from repro.analysis.experiments import (
     Scale,
     current_scale,
+    default_max_workers,
     mkp_saim_config,
     qkp_saim_config,
+    run_mkp_suite,
+    run_qkp_suite,
     run_saim_on_mkp,
     run_saim_on_qkp,
     table2_suite,
@@ -110,3 +113,53 @@ class TestRunners:
         assert record.exact_seconds > 0
         if not np.isnan(record.best_accuracy):
             assert record.best_accuracy <= 100.0 + 1e-9
+
+
+class TestSuiteRunners:
+    """The executor-backed suite runners must reproduce the serial loops."""
+
+    def test_qkp_suite_matches_per_instance_runner(self):
+        instances = [generate_qkp(12, 0.5, rng=i) for i in range(2)]
+        config = qkp_saim_config(SMOKE)
+        suite_records = run_qkp_suite(
+            instances, config, seeds=[10, 11], max_workers=1
+        )
+        for instance, seed, record in zip(instances, (10, 11), suite_records):
+            direct = run_saim_on_qkp(instance, config, seed=seed)
+            assert record.instance_name == direct.instance_name
+            assert record.best_accuracy == direct.best_accuracy or (
+                np.isnan(record.best_accuracy)
+                and np.isnan(direct.best_accuracy)
+            )
+            assert record.feasible_percent == direct.feasible_percent
+            assert record.reference_profit == direct.reference_profit
+
+    def test_qkp_suite_default_seeds(self):
+        instances = [generate_qkp(10, 0.5, rng=7)]
+        records = run_qkp_suite(instances, qkp_saim_config(SMOKE))
+        assert len(records) == 1
+
+    def test_qkp_suite_rejects_seed_mismatch(self):
+        instances = [generate_qkp(10, 0.5, rng=7)]
+        with pytest.raises(ValueError, match="one seed per instance"):
+            run_qkp_suite(instances, qkp_saim_config(SMOKE), seeds=[1, 2])
+
+    def test_mkp_suite_matches_per_instance_runner(self):
+        instance = generate_mkp(10, 2, rng=4, name="suite-mkp")
+        config = mkp_saim_config(SMOKE)
+        (record,) = run_mkp_suite([instance], config, seeds=[3], max_workers=1)
+        direct = run_saim_on_mkp(instance, config, seed=3)
+        assert record.optimum_profit == direct.optimum_profit
+        assert record.feasible_percent == direct.feasible_percent
+
+    def test_repro_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_max_workers() == 3
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert default_max_workers() == 1
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValueError, match=">= 1"):
+            default_max_workers()
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError, match="integer"):
+            default_max_workers()

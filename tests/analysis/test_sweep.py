@@ -1,8 +1,14 @@
-"""Tests for the parameter-sweep helper (repro.analysis.sweep)."""
+"""Tests for the parameter-sweep helpers (repro.analysis.sweep)."""
 
+import numpy as np
 import pytest
 
-from repro.analysis.sweep import ParameterSweep, SweepPoint
+from repro.analysis.sweep import (
+    BackendSweep,
+    ParameterSweep,
+    SweepPoint,
+    sweep_backends,
+)
 
 
 def quadratic_runner(x, y):
@@ -72,6 +78,164 @@ class TestParameterSweep:
         sweep = ParameterSweep(quadratic_runner, {"x": [1], "y": [1]})
         with pytest.raises(ValueError):
             sweep.best(sweep.run(), "nonexistent")
+
+
+class TestNanAndNumpyMetrics:
+    """Regressions: NaN points must not poison ``best``; numpy scalars must
+    render like their python counterparts."""
+
+    def points(self):
+        return [
+            SweepPoint(params={"x": 0}, metrics={"score": float("nan")}),
+            SweepPoint(params={"x": 1}, metrics={"score": 3.0}),
+            SweepPoint(params={"x": 2}, metrics={"score": np.float64("nan")}),
+            SweepPoint(params={"x": 3}, metrics={"score": -1.0}),
+        ]
+
+    def sweep(self):
+        return ParameterSweep(lambda x: {"score": 0.0}, {"x": [0, 1, 2, 3]})
+
+    def test_nan_never_wins_maximize(self):
+        # Pre-fix: max() with a NaN key can return a NaN point depending
+        # on comparison order.
+        best = self.sweep().best(self.points(), "score", maximize=True)
+        assert best.params["x"] == 1
+
+    def test_nan_never_wins_minimize(self):
+        best = self.sweep().best(self.points(), "score", maximize=False)
+        assert best.params["x"] == 3
+
+    def test_nan_first_point_does_not_shadow(self):
+        points = self.points()[:2]  # NaN first, then the real value
+        assert self.sweep().best(points, "score").params["x"] == 1
+
+    def test_all_nan_rejected(self):
+        points = [
+            SweepPoint(params={"x": 0}, metrics={"score": float("nan")}),
+        ]
+        with pytest.raises(ValueError, match="comparable"):
+            self.sweep().best(points, "score")
+
+    def test_render_formats_numpy_float_like_float(self):
+        sweep = ParameterSweep(lambda x: {}, {"x": [0]})
+        points = [
+            SweepPoint(params={"x": 0},
+                       metrics={"a": np.float64(1.23456789),
+                                "b": 1.23456789}),
+        ]
+        table = sweep.render(points, metrics=["a", "b"])
+        row = table.splitlines()[-1]
+        cells = [cell.strip() for cell in row.split("|")]
+        assert cells[1] == cells[2] == "1.235"
+
+    def test_render_formats_numpy_int_like_int(self):
+        sweep = ParameterSweep(lambda x: {}, {"x": [0]})
+        points = [
+            SweepPoint(params={"x": 0}, metrics={"n": np.int64(1200)}),
+        ]
+        table = sweep.render(points, metrics=["n"])
+        assert "1200" in table
+        assert "np.int64" not in table
+
+
+class TestBackendSweep:
+    FAST = dict(num_iterations=8, mcs_per_run=50, eta=5.0,
+                eta_decay="sqrt", normalize_step=True)
+
+    def test_grid_and_jobs(self):
+        from tests.helpers import tiny_knapsack_problem
+
+        sweep = BackendSweep(
+            tiny_knapsack_problem(), backends=["pbit", "quantized"],
+            replicas=[1, 2], rng=0,
+            backend_options={"quantized": {"bits": 10}}, **self.FAST,
+        )
+        jobs = sweep.jobs()
+        assert sweep.num_points == len(jobs) == 4
+        assert [(j.backend, j.num_replicas) for j in jobs] == [
+            ("pbit", 1), ("pbit", 2), ("quantized", 1), ("quantized", 2),
+        ]
+        assert jobs[2].backend_options == {"bits": 10}
+        assert jobs[0].backend_options is None
+
+    def test_rejects_options_for_unknown_backend(self):
+        from tests.helpers import tiny_knapsack_problem
+
+        with pytest.raises(ValueError, match="not in the sweep"):
+            BackendSweep(
+                tiny_knapsack_problem(), backends=["pbit"],
+                backend_options={"quantized": {"bits": 8}},
+            )
+
+    def test_sweep_backends_one_call_table(self):
+        from tests.helpers import tiny_knapsack_problem
+
+        report = sweep_backends(
+            tiny_knapsack_problem(), backends=["pbit", "metropolis"],
+            replicas=[1, 2], rng=0, title="backend comparison", **self.FAST,
+        )
+        assert len(report.points) == 4
+        for line in ("backend comparison", "backend", "replicas",
+                     "best_cost", "feasible_pct", "total_mcs", "seconds"):
+            assert line in report.table
+        # Rows appear in grid order with per-point accounting.
+        by_params = {
+            (p.params["backend"], p.params["replicas"]): p.metrics
+            for p in report.points
+        }
+        assert by_params[("pbit", 2)]["total_mcs"] == 8 * 2 * 50
+        best = report.best()
+        assert best.metrics["best_cost"] == pytest.approx(-8.0)
+
+    def test_failed_point_raises_by_default(self):
+        from repro.runtime import SolveJobError
+        from tests.helpers import tiny_knapsack_problem
+
+        sweep = BackendSweep(
+            tiny_knapsack_problem(), backends=["no-such-machine"], **self.FAST
+        )
+        with pytest.raises(SolveJobError, match="no-such-machine"):
+            sweep.run()
+
+    def test_failed_point_becomes_nan_row_when_tolerant(self):
+        from tests.helpers import tiny_knapsack_problem
+
+        sweep = BackendSweep(
+            tiny_knapsack_problem(), backends=["pbit", "no-such-machine"],
+            rng=0, **self.FAST,
+        )
+        points = sweep.run(raise_on_error=False)
+        ok, failed = points
+        assert ok.metrics["best_cost"] == pytest.approx(-8.0)
+        assert np.isnan(failed.metrics["best_cost"])
+        assert np.isnan(failed.metrics["feasible_pct"])
+        # The table still renders, with the failed cell as NaN.
+        assert "nan" in sweep.render(points, metrics=["best_cost"])
+
+    def test_run_matches_front_door(self):
+        import repro
+        from tests.helpers import tiny_knapsack_problem
+
+        points = BackendSweep(
+            tiny_knapsack_problem(), backends=["pbit"], replicas=[2],
+            rng=4, **self.FAST,
+        ).run(max_workers=1)
+        direct = repro.solve(
+            tiny_knapsack_problem(), num_replicas=2, rng=4, **self.FAST
+        )
+        assert points[0].metrics["best_cost"] == direct.best_cost
+
+    def test_base_class_run_path_still_works(self):
+        """ParameterSweep.run() on a BackendSweep drives the runner hook."""
+        from tests.helpers import tiny_knapsack_problem
+
+        sweep = BackendSweep(
+            tiny_knapsack_problem(), backends=["pbit"], replicas=[1],
+            rng=0, **self.FAST,
+        )
+        (point,) = ParameterSweep.run(sweep)
+        assert point.params == {"backend": "pbit", "replicas": 1}
+        assert point.metrics["best_cost"] == pytest.approx(-8.0)
 
 
 class TestSweepWithSolver:

@@ -160,3 +160,80 @@ class TestReplicaFeatureParity:
             tiny_knapsack_problem(), rng=3
         )
         assert parallel.best_cost <= serial.best_cost
+
+
+class _SplitReadoutMachine:
+    """Stub backend whose best-sample read-out disagrees with its last.
+
+    Replica 0 has the lowest *last* energy; replica 1 has the lowest *best*
+    energy and a distinctive best sample (all spins up).  A correct
+    ``read_best`` loop must therefore lead with replica 1 and trace
+    ``best_energies`` — leading by ``last_energies`` is the regression.
+    """
+
+    def __init__(self, model, rng=None):
+        self._n = model.num_spins
+
+    @property
+    def num_spins(self):
+        return self._n
+
+    def set_fields(self, fields, offset=None):
+        pass
+
+    def anneal_many(self, beta_schedule, num_replicas, initial=None):
+        from repro.ising.backend import BatchAnnealResult
+
+        n = self._n
+        last = -np.ones((num_replicas, n))
+        best = -np.ones((num_replicas, n))
+        last_energies = np.arange(num_replicas, dtype=float)  # replica 0 wins
+        best_energies = np.full(num_replicas, 5.0)
+        if num_replicas > 1:
+            best[1] = np.ones(n)  # x = all ones: infeasible, distinct cost
+            best_energies[1] = -5.0  # replica 1 wins
+        return BatchAnnealResult(
+            last_samples=last,
+            last_energies=last_energies,
+            best_samples=best,
+            best_energies=best_energies,
+            num_sweeps=len(beta_schedule),
+        )
+
+
+class TestReadBestReplicaReadout:
+    """Regression: with ``read_best`` at R > 1 the lead replica and the
+    trace energies must come from ``best_energies``, not ``last_energies``
+    (the pre-fix engine mixed the two and corrupted traces and updates)."""
+
+    CONFIG = SaimConfig(num_iterations=3, mcs_per_run=10, eta=5.0,
+                        read_best=True)
+
+    def _solve(self):
+        problem = tiny_knapsack_problem()
+        return SaimEngine(
+            self.CONFIG, num_replicas=3,
+            machine_factory=_SplitReadoutMachine,
+        ).solve(problem, rng=0), problem
+
+    def test_trace_energies_come_from_best_energies(self):
+        result, _ = self._solve()
+        # Pre-fix: argmin(last_energies) = replica 0, energy 0.0 recorded.
+        assert result.trace.energies.tolist() == [-5.0, -5.0, -5.0]
+
+    def test_lead_sample_is_best_replicas_sample(self):
+        result, problem = self._solve()
+        # Replica 1's best sample is all-ones => x = (1, 1, 1), which
+        # violates the knapsack constraint: every trace cost must be its
+        # objective and never the feasible all-zeros last sample.
+        all_ones_cost = problem.objective(np.ones(3, dtype=np.int8))
+        assert result.trace.sample_costs.tolist() == [all_ones_cost] * 3
+        assert not result.trace.feasible.any()
+
+    def test_serial_read_best_traces_best_energy(self):
+        result = SaimEngine(
+            self.CONFIG, num_replicas=1,
+            machine_factory=_SplitReadoutMachine,
+        ).solve(tiny_knapsack_problem(), rng=0)
+        # R = 1: the single replica's best energy (5.0), not its last (0.0).
+        assert result.trace.energies.tolist() == [5.0, 5.0, 5.0]

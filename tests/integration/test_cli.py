@@ -113,6 +113,36 @@ class TestSolve:
         assert "SAIM penalty P" in capsys.readouterr().out
         assert code in (0, 1)
 
+    def test_sweep_backends_table(self, qkp_file, capsys):
+        code = main(["sweep", str(qkp_file), "--backends", "pbit,metropolis",
+                     "--replicas", "1,2", "--iterations", "30",
+                     "--mcs", "100"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Backend sweep" in out
+        for token in ("backend", "replicas", "best_cost", "feasible_pct",
+                      "metropolis", "best:"):
+            assert token in out
+
+    def test_sweep_with_workers(self, qkp_file, capsys):
+        code = main(["sweep", str(qkp_file), "--backends", "pbit",
+                     "--replicas", "1,2", "--workers", "2",
+                     "--iterations", "20", "--mcs", "80"])
+        assert code == 0
+        assert "Backend sweep" in capsys.readouterr().out
+
+    def test_sweep_rejects_unknown_backend(self, qkp_file):
+        with pytest.raises(SystemExit, match="unknown backend"):
+            main(["sweep", str(qkp_file), "--backends", "pbit,gpu"])
+
+    def test_sweep_rejects_bad_replicas(self, qkp_file):
+        with pytest.raises(SystemExit, match=">= 1"):
+            main(["sweep", str(qkp_file), "--replicas", "0,2"])
+
+    def test_sweep_rejects_malformed_replicas(self, qkp_file):
+        with pytest.raises(SystemExit, match="malformed"):
+            main(["sweep", str(qkp_file), "--replicas", "1,two"])
+
     def test_solve_saim_mkp(self, mkp_file, capsys):
         code = main(["solve", str(mkp_file), "--solver", "saim",
                      "--iterations", "60", "--mcs", "150"])

@@ -145,6 +145,22 @@ class TestSolveFrontDoor:
                 num_replicas=8, num_iterations=5, mcs_per_run=20,
             )
 
+    def test_penalty_method_rejects_backend_options(self):
+        """Regression: backend_options used to be silently discarded."""
+        with pytest.raises(ValueError, match="no backend_options"):
+            repro.solve(
+                tiny_knapsack_problem(), method="penalty",
+                backend_options={"bits": 8}, num_iterations=5,
+                mcs_per_run=20,
+            )
+
+    def test_penalty_method_accepts_empty_backend_options(self):
+        result = repro.solve(
+            tiny_knapsack_problem(), method="penalty",
+            backend_options={}, num_iterations=5, mcs_per_run=20, rng=0,
+        )
+        assert isinstance(result, PenaltyMethodResult)
+
     def test_penalty_method_rejects_lambdas(self):
         with pytest.raises(ValueError, match="no Lagrange multipliers"):
             repro.solve(

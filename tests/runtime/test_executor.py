@@ -1,0 +1,186 @@
+"""Tests for the sharded solve_many executor (repro.runtime.executor)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.saim import SaimConfig
+from repro.problems.generators import generate_qkp
+from repro.runtime import (
+    JobOutcome,
+    SolveJob,
+    SolveJobError,
+    iter_solve_many,
+    solve_many,
+)
+from tests.helpers import tiny_knapsack_problem
+
+FAST = SaimConfig(num_iterations=10, mcs_per_run=60, eta=5.0,
+                  eta_decay="sqrt", normalize_step=True)
+
+
+def fast_jobs(seeds=(0, 1, 2)):
+    return [
+        SolveJob(problem=tiny_knapsack_problem(), config=FAST, rng=seed)
+        for seed in seeds
+    ]
+
+
+class TestValidation:
+    def test_rejects_non_job(self):
+        with pytest.raises(TypeError, match="SolveJob"):
+            solve_many([tiny_knapsack_problem()])
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            list(iter_solve_many(fast_jobs(), max_workers=0))
+
+    def test_empty_batch(self):
+        report = solve_many([])
+        assert report.outcomes == []
+        assert report.stats.num_jobs == 0
+        assert np.isnan(report.stats.best_cost)
+
+
+class TestInProcessFallback:
+    def test_results_in_job_order(self):
+        jobs = fast_jobs((5, 6, 7))
+        report = solve_many(jobs, max_workers=1)
+        assert [o.index for o in report.outcomes] == [0, 1, 2]
+        assert [o.job.rng for o in report.outcomes] == [5, 6, 7]
+
+    def test_bit_identical_to_direct_solve_loop(self):
+        """The acceptance contract: max_workers=1 == a plain solve loop."""
+        instance = generate_qkp(12, 0.5, rng=2)
+        jobs = [
+            SolveJob(problem=instance, config=FAST, rng=seed,
+                     num_replicas=replicas)
+            for seed in (0, 1)
+            for replicas in (1, 3)
+        ]
+        report = solve_many(jobs, max_workers=1)
+        for job, result in zip(jobs, report.results):
+            direct = repro.solve(
+                instance, config=FAST, rng=job.rng,
+                num_replicas=job.num_replicas,
+            )
+            assert result.best_cost == direct.best_cost
+            np.testing.assert_array_equal(
+                result.final_lambdas, direct.final_lambdas
+            )
+            np.testing.assert_array_equal(
+                result.trace.sample_costs, direct.trace.sample_costs
+            )
+
+    def test_accepts_unpicklable_rng_in_process(self):
+        job = SolveJob(problem=tiny_knapsack_problem(), config=FAST,
+                       rng=np.random.default_rng(3))
+        report = solve_many([job], max_workers=1)
+        assert report.outcomes[0].ok
+
+    def test_streaming_yields_outcomes(self):
+        seen = []
+        for outcome in iter_solve_many(fast_jobs(), max_workers=1):
+            seen.append(outcome.index)
+            assert isinstance(outcome, JobOutcome)
+            assert outcome.ok
+        assert seen == [0, 1, 2]
+
+
+class TestErrorPropagation:
+    def failing_jobs(self):
+        good = SolveJob(problem=tiny_knapsack_problem(), config=FAST, rng=0)
+        bad = SolveJob(problem=tiny_knapsack_problem(), config=FAST,
+                       backend="no-such-machine", rng=1, tag="doomed")
+        return [good, bad]
+
+    def test_raises_solve_job_error_by_default(self):
+        with pytest.raises(SolveJobError, match="doomed") as excinfo:
+            solve_many(self.failing_jobs(), max_workers=1)
+        assert "unknown backend" in str(excinfo.value)
+        assert excinfo.value.outcome.index == 1
+
+    def test_collect_mode_records_error_and_continues(self):
+        report = solve_many(
+            self.failing_jobs(), max_workers=1, raise_on_error=False
+        )
+        ok, failed = report.outcomes
+        assert ok.ok and ok.result.found_feasible
+        assert not failed.ok
+        assert failed.result is None
+        assert "unknown backend" in failed.error
+        assert report.failed() == [failed]
+        assert report.stats.num_failed == 1
+        assert report.stats.num_ok == 1
+
+
+class TestStats:
+    def test_aggregates(self):
+        report = solve_many(fast_jobs(), max_workers=1)
+        stats = report.stats
+        assert stats.num_jobs == 3
+        assert stats.num_ok == 3
+        assert stats.num_failed == 0
+        assert stats.wall_seconds > 0
+        assert stats.job_seconds_total > 0
+        assert stats.jobs_per_second > 0
+        assert stats.best_cost == pytest.approx(-8.0)
+        assert stats.mean_best_cost <= 0.0
+        assert "3/3 jobs ok" in stats.summary()
+
+    def test_progress_callback_streams(self):
+        seen = []
+        solve_many(fast_jobs(), max_workers=1, progress=seen.append)
+        assert sorted(o.index for o in seen) == [0, 1, 2]
+
+
+class TestProcessPool:
+    """max_workers > 1 shards across processes; results must match."""
+
+    def test_sharded_matches_in_process(self):
+        jobs = fast_jobs((0, 1, 2, 3))
+        serial = solve_many(jobs, max_workers=1)
+        sharded = solve_many(jobs, max_workers=2)
+        assert [o.index for o in sharded.outcomes] == [0, 1, 2, 3]
+        for a, b in zip(serial.results, sharded.results):
+            assert a.best_cost == b.best_cost
+            np.testing.assert_array_equal(a.final_lambdas, b.final_lambdas)
+
+    def test_sharded_error_propagates(self):
+        bad = SolveJob(problem=tiny_knapsack_problem(), config=FAST,
+                       backend="no-such-machine", tag="doomed")
+        with pytest.raises(SolveJobError, match="doomed"):
+            solve_many([*fast_jobs((0,)), bad], max_workers=2)
+
+    def test_unpicklable_job_stays_in_error_channel(self):
+        """Submit-side pickling failures must come back as failed outcomes,
+        not raw exceptions that lose the rest of the batch."""
+        bad = SolveJob(problem=tiny_knapsack_problem(), config=FAST,
+                       rng=lambda: 1, tag="unpicklable")
+        report = solve_many(
+            [*fast_jobs((0,)), bad], max_workers=2, raise_on_error=False
+        )
+        ok, failed = report.outcomes
+        assert ok.ok and ok.result.found_feasible
+        assert not failed.ok
+        assert "pickle" in failed.error.lower()
+        with pytest.raises(SolveJobError, match="unpicklable"):
+            solve_many([*fast_jobs((0,)), bad], max_workers=2)
+
+
+class TestExports:
+    def test_front_door_exports(self):
+        assert repro.solve_many is solve_many
+        assert repro.SolveJob is SolveJob
+        for name in ("solve_many", "iter_solve_many", "SolveJob",
+                     "SolveJobError", "SolveManyReport", "SolveManyStats",
+                     "sweep_backends", "BackendSweep"):
+            assert name in repro.__all__
+
+    def test_job_label(self):
+        job = SolveJob(problem=tiny_knapsack_problem(), backend="quantized",
+                       num_replicas=4, rng=9)
+        label = job.label(2)
+        assert "tiny-knap" in label
+        assert "quantized" in label and "R=4" in label
+        assert SolveJob(problem=None, tag="custom").label(0) == "custom"
