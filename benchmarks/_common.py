@@ -8,7 +8,6 @@ in ``benchmarks/output/`` for EXPERIMENTS.md.
 
 from __future__ import annotations
 
-import sys
 from pathlib import Path
 
 OUTPUT_DIR = Path(__file__).parent / "output"

@@ -11,7 +11,6 @@ independent), reproducing the paper's ordering under the fairer metric.
 import numpy as np
 
 from repro.analysis.experiments import current_scale, qkp_saim_config
-from repro.analysis.stats import accuracies
 from repro.analysis.tables import render_table
 from repro.analysis.tts import saim_tts_from_trace, time_to_solution
 from repro.baselines.exact_qkp import reference_qkp_optimum

@@ -25,7 +25,6 @@ import sys
 import time
 from pathlib import Path
 
-import numpy as np
 
 sys.path.insert(0, str(Path(__file__).parent))
 from _common import OUTPUT_DIR  # noqa: E402

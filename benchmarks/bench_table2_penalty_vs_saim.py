@@ -20,31 +20,29 @@ from repro.analysis.experiments import (
     run_qkp_suite,
     table2_suite,
 )
+from repro.api import solve
 from repro.analysis.stats import accuracies
 from repro.analysis.tables import format_percent, render_table
-from repro.core.encoding import encode_with_slacks, normalize_problem
-from repro.core.penalty import (
-    density_heuristic_penalty,
-    penalty_method_solve,
-    tune_penalty,
-)
+from repro.core.encoding import encode_with_slacks
+from repro.core.penalty import tune_penalty
 
 from _common import PAPER, archive, run_once
 
 
-def _penalty_columns(instance, reference_profit, num_runs, mcs_per_run, seed):
+def _penalty_columns(instance, reference_profit, config, seed):
     """Best / avg accuracy / feasibility for one penalty-method result."""
-    encoded = encode_with_slacks(instance.to_problem())
-    normalized, _ = normalize_problem(encoded.problem)
-    small_p = density_heuristic_penalty(normalized, alpha=2.0)
+    # Same P (the alpha=2 density heuristic), same budget, as a registered
+    # front-door method — the detail payload is the PenaltyMethodResult.
+    same_budget = solve(
+        instance, method="penalty", config=config, rng=seed
+    ).detail
+    small_p = same_budget.penalty
 
-    same_budget = penalty_method_solve(
-        encoded, small_p, num_runs=num_runs, mcs_per_run=mcs_per_run, rng=seed
-    )
+    encoded = encode_with_slacks(instance.to_problem())
     tuned = tune_penalty(
         encoded,
-        num_runs=max(4, num_runs // 4),
-        mcs_per_run=mcs_per_run,
+        num_runs=max(4, config.num_iterations // 4),
+        mcs_per_run=config.mcs_per_run,
         rng=seed + 1,
     )
     return same_budget, tuned.result, small_p, tuned.tuned_penalty
@@ -76,8 +74,7 @@ def test_table2_penalty_vs_saim(benchmark):
         for index, (instance, record) in enumerate(zip(suite, records)):
             reference = record.reference_profit
             same_budget, tuned, small_p, tuned_p = _penalty_columns(
-                instance, reference, config.num_iterations,
-                config.mcs_per_run, seed=1000 + index,
+                instance, reference, config, seed=1000 + index,
             )
             pen_best, pen_avg = _accuracy_stats(same_budget.costs, reference)
             tun_best, tun_avg = _accuracy_stats(tuned.costs, reference)

@@ -11,23 +11,33 @@ Quickstart::
     import repro
 
     instance = repro.generate_qkp(num_items=40, density=0.5, rng=1)
-    result = repro.solve(instance, num_iterations=100, mcs_per_run=300, rng=7)
-    print(result.best_cost, result.feasible_ratio)
+    report = repro.solve(instance, num_iterations=100, mcs_per_run=300, rng=7)
+    print(report.best_cost, report.feasible, report.detail.feasible_ratio)
 
 ``repro.solve`` is the registry-backed front door: ``method`` selects the
-solver loop (``"saim"``, ``"penalty"``), ``backend`` the annealing machine
-(``"pbit"``, ``"metropolis"``, ``"quantized"``, ``"chromatic"``, ``"pt"``),
-and ``num_replicas`` scales the batched replica-parallel engine.
+solver loop (``"saim"``, ``"penalty"``, or a classical baseline:
+``"greedy"``, ``"ga"``, ``"milp"``, ``"bnb"``, ``"exhaustive"``),
+``backend`` the annealing machine (``"pbit"``, ``"metropolis"``,
+``"quantized"``, ``"chromatic"``, ``"pt"``), and ``num_replicas`` scales
+the batched replica-parallel engine.  Every method returns the same
+:class:`repro.core.report.SolveReport` schema, with the solver's native
+result as its typed ``detail`` payload.
 
 ``repro.solve_many`` shards a batch of :class:`repro.runtime.SolveJob`
 declarations across worker processes and streams results back —
-``repro.sweep_backends`` builds multi-backend comparison tables on top.
+``repro.sweep_backends`` builds method × backend comparison tables on
+top, and ``repro.SolverSession`` warm-starts resolves of perturbed
+instances from cached multipliers.
 """
 
 from repro.api import (
     available_backends,
     available_methods,
+    backend_info,
+    describe_backends,
+    describe_methods,
     make_backend_factory,
+    method_info,
     register_backend,
     register_method,
     solve,
@@ -38,6 +48,7 @@ from repro.runtime import (
     SolveJobError,
     SolveManyReport,
     SolveManyStats,
+    SolverSession,
     iter_solve_many,
     solve_many,
 )
@@ -46,6 +57,7 @@ from repro.core import (
     LinearConstraints,
     SaimConfig,
     SaimResult,
+    SolveReport,
     SaimEngine,
     SelfAdaptiveIsingMachine,
     build_penalty_qubo,
@@ -77,7 +89,7 @@ from repro.problems import (
     paper_mkp_instance,
 )
 
-__version__ = "1.2.0"
+__version__ = "2.0.0"
 
 # The sweep drivers live under repro.analysis, whose package import pulls in
 # the whole experiment harness; resolve them lazily so `import repro` (and
@@ -104,13 +116,19 @@ __all__ = [
     "SolveJobError",
     "SolveManyReport",
     "SolveManyStats",
+    "SolveReport",
+    "SolverSession",
     "ParameterSweep",
     "BackendSweep",
     "BackendSweepReport",
     "sweep_backends",
     "available_backends",
     "available_methods",
+    "backend_info",
+    "describe_backends",
+    "describe_methods",
     "make_backend_factory",
+    "method_info",
     "register_backend",
     "register_method",
     "AnnealingBackend",

@@ -10,9 +10,11 @@ Owns two things:
   sizes, instance counts, and MCS budgets shrink.
 - **Per-table instance suites and runners** returning uniform records that
   the benchmark scripts format into the paper's tables.  The suite runners
-  (:func:`run_qkp_suite`, :func:`run_mkp_suite`) route their per-instance
-  solves through the sharded :func:`repro.runtime.solve_many` executor; set
-  ``REPRO_WORKERS=<n>`` to fan any table bench across ``n`` processes.
+  (:func:`run_qkp_suite`, :func:`run_mkp_suite` for SAIM,
+  :func:`run_baseline_suite` for the classical comparison columns) route
+  their per-instance solves through the sharded
+  :func:`repro.runtime.solve_many` executor; set ``REPRO_WORKERS=<n>`` to
+  fan any table bench across ``n`` processes.
 """
 
 from __future__ import annotations
@@ -366,6 +368,104 @@ def run_qkp_suite(
             instances, report.results, reference_profits
         )
     ]
+
+
+@dataclass
+class BaselineRecord:
+    """One classical baseline solve, in the paper's comparison units.
+
+    ``accuracy_percent`` is ``100 * profit / reference`` (the paper's
+    eq. 13 reading for a single deterministic answer); against a
+    best-known (non-exact) reference it can exceed 100 when the method
+    beats the reference — the reference is reported as given so the
+    denominator stays comparable *across* methods.  ``wall_seconds`` is
+    the front door's measured solve time (the paper reports MILP solve
+    times as the difficulty indicator of Table V).
+    """
+
+    instance_name: str
+    method: str
+    best_profit: float
+    accuracy_percent: float
+    reference_profit: float
+    num_iterations: int
+    wall_seconds: float
+
+
+def reference_profit_for(instance, rng=None) -> float:
+    """The comparison denominator: exact for MKP, best-known for QKP."""
+    if isinstance(instance, MkpInstance):
+        return float(solve_mkp_exact(instance).profit)
+    if isinstance(instance, QkpInstance):
+        return float(reference_qkp_optimum(instance, rng=rng))
+    raise TypeError(
+        f"need a QkpInstance or MkpInstance, got {type(instance).__name__}"
+    )
+
+
+def run_baseline_suite(
+    instances,
+    method: str,
+    method_options: dict | None = None,
+    seeds=None,
+    max_workers: int | None = None,
+    reference_profits=None,
+) -> list[BaselineRecord]:
+    """Run one classical baseline method over a suite, via the executor.
+
+    The same pipe as the SAIM suites: one :class:`repro.runtime.SolveJob`
+    per instance, fanned across ``max_workers`` processes (default:
+    ``REPRO_WORKERS``).  ``method`` is any backend-free registry method
+    (``greedy``, ``ga``, ``milp``, ``bnb``, ``exhaustive``); accuracies are
+    measured against ``reference_profits`` (default: the suite's standard
+    references via :func:`reference_profit_for`).
+    """
+    from repro.runtime.executor import SolveJob, solve_many
+
+    instances = list(instances)
+    if seeds is None:
+        seeds = list(range(len(instances)))
+    seeds = list(seeds)
+    if len(seeds) != len(instances):
+        raise ValueError(
+            f"need one seed per instance: {len(seeds)} seeds for "
+            f"{len(instances)} instances"
+        )
+    max_workers = default_max_workers() if max_workers is None else max_workers
+    jobs = [
+        SolveJob(
+            problem=instance,
+            method=method,
+            method_options=method_options,
+            rng=seed,
+            tag=f"{method} {instance.name} rng={seed}",
+        )
+        for instance, seed in zip(instances, seeds)
+    ]
+    report = solve_many(jobs, max_workers=max_workers)
+    if reference_profits is None:
+        reference_profits = [
+            reference_profit_for(instance, rng=seed)
+            for instance, seed in zip(instances, seeds)
+        ]
+    records = []
+    for instance, solve_report, reference in zip(
+        instances, report.results, reference_profits
+    ):
+        profit = -solve_report.best_cost if solve_report.feasible else float("nan")
+        reference = float(reference)
+        records.append(
+            BaselineRecord(
+                instance_name=instance.name,
+                method=method,
+                best_profit=profit,
+                accuracy_percent=accuracy_percent(-profit, -reference),
+                reference_profit=reference,
+                num_iterations=solve_report.num_iterations,
+                wall_seconds=solve_report.wall_seconds,
+            )
+        )
+    return records
 
 
 def run_mkp_suite(

@@ -8,7 +8,7 @@ figures (cost converging onto OPT, lambda staircases, ...).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np

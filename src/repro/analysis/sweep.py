@@ -16,15 +16,20 @@ users for their own studies::
 The runner must return a mapping of metric name to value.
 
 :class:`BackendSweep` is the ``repro.solve``-backed specialization: its grid
-is *backend × replicas* over one problem, its points run through the sharded
-:func:`repro.runtime.solve_many` executor, and its table is the
-backend-comparison report the ablation benches used to hand-roll::
+is *method × backend × replicas* over one problem, its points run through
+the sharded :func:`repro.runtime.solve_many` executor, and its table is the
+solver-comparison report the ablation benches used to hand-roll::
 
     report = sweep_backends(
         instance, backends=["pbit", "quantized", "chromatic"],
-        replicas=[1, 8], num_iterations=60, max_workers=4, rng=3,
+        replicas=[1, 8], methods=["saim", "greedy", "milp"],
+        num_iterations=60, max_workers=4, rng=3,
     )
     print(report.table)
+
+Backend-free methods (the classical baselines) appear as single rows with
+backend ``"-"``, so one table carries the paper's SAIM-versus-baselines
+comparison (Tables II and V) at any backend grid.
 """
 
 from __future__ import annotations
@@ -137,24 +142,35 @@ class ParameterSweep:
 
 
 class BackendSweep(ParameterSweep):
-    """Backend × replica-count sweep of ``repro.solve`` over one problem.
+    """Method × backend × replica-count sweep of ``repro.solve`` over one
+    problem.
 
     Every grid point is one :class:`repro.runtime.SolveJob`; ``run`` shards
-    them through :func:`repro.runtime.solve_many`, so a multi-backend
-    comparison scales across processes like any other batch.
+    them through :func:`repro.runtime.solve_many`, so a multi-method,
+    multi-backend comparison scales across processes like any other batch.
+    Backend-free methods (greedy, GA, MILP, B&B, exhaustive) have no
+    backend × replica axes: each contributes exactly one grid row, shown
+    with backend ``"-"`` and ``replicas`` 1.
 
     Parameters
     ----------
     problem:
         Anything :func:`repro.solve` accepts (instance or problem object).
     backends / replicas:
-        The grid axes: registry backend names × replica counts.
+        The annealing grid axes: registry backend names × replica counts.
+    methods:
+        Registry method names to compare (default: just ``method``, i.e.
+        ``"saim"``).
     method / config / rng / config_overrides:
         Shared solve settings applied to every point.  ``rng`` must be a
-        picklable seed when ``run(max_workers > 1)`` is used.
+        picklable seed when ``run(max_workers > 1)`` is used; config
+        settings apply to the annealing methods only.
     backend_options:
         Per-backend builder options, keyed by backend name
         (e.g. ``{"quantized": {"bits": 10}}``).
+    method_options:
+        Per-method options, keyed by method name
+        (e.g. ``{"ga": {"num_children": 5000}}``).
     """
 
     METRICS = ("best_cost", "feasible_pct", "total_mcs", "seconds")
@@ -165,16 +181,22 @@ class BackendSweep(ParameterSweep):
         backends,
         replicas=(1,),
         method: str = "saim",
+        methods=None,
         config=None,
         rng=0,
         backend_options: dict | None = None,
+        method_options: dict | None = None,
         **config_overrides,
     ):
+        from repro.api import method_info
+
         backends = list(backends)
         replicas = [int(r) for r in replicas]
+        methods = [method] if methods is None else list(methods)
         super().__init__(
             runner=self._solve_point,
-            grid={"backend": backends, "replicas": replicas},
+            grid={"method": methods, "backend": backends,
+                  "replicas": replicas},
         )
         unknown = set(backend_options or {}) - set(backends)
         if unknown:
@@ -182,31 +204,61 @@ class BackendSweep(ParameterSweep):
                 f"backend_options given for backends not in the sweep: "
                 f"{sorted(unknown)}"
             )
+        unknown = set(method_options or {}) - set(methods)
+        if unknown:
+            raise ValueError(
+                f"method_options given for methods not in the sweep: "
+                f"{sorted(unknown)}"
+            )
+        self._specs = {name: method_info(name) for name in methods}
         self._problem = problem
-        self._method = method
         self._config = config
         self._rng = rng
         self._backend_options = dict(backend_options or {})
+        self._method_options = dict(method_options or {})
         self._config_overrides = dict(config_overrides)
+
+    def grid_points(self) -> list[dict]:
+        """Grid assignments; backend-free methods collapse to one row."""
+        points = []
+        for params in super().grid_points():
+            if self._specs[params["method"]].uses_backend:
+                points.append(params)
+                continue
+            collapsed = dict(params, backend="-", replicas=1)
+            if collapsed not in points:
+                points.append(collapsed)
+        return points
+
+    def _job_for(self, params):
+        from repro.runtime.executor import SolveJob
+
+        method = params["method"]
+        spec = self._specs[method]
+        uses_backend = spec.uses_backend
+        backend = params["backend"] if uses_backend else None
+        tag = (f"{method}/{params['backend']} R={params['replicas']}"
+               if uses_backend else method)
+        return SolveJob(
+            problem=self._problem,
+            method=method,
+            backend=backend,
+            config=self._config if spec.uses_config else None,
+            num_replicas=params["replicas"] if uses_backend else 1,
+            rng=self._rng,
+            backend_options=(
+                self._backend_options.get(backend) if uses_backend else None
+            ),
+            method_options=self._method_options.get(method),
+            config_overrides=(
+                self._config_overrides if spec.uses_config else {}
+            ),
+            tag=tag,
+        )
 
     def jobs(self) -> list:
         """The sweep grid as executor jobs, in grid order."""
-        from repro.runtime.executor import SolveJob
-
-        return [
-            SolveJob(
-                problem=self._problem,
-                method=self._method,
-                backend=params["backend"],
-                config=self._config,
-                num_replicas=params["replicas"],
-                rng=self._rng,
-                backend_options=self._backend_options.get(params["backend"]),
-                config_overrides=self._config_overrides,
-                tag=f"{params['backend']} R={params['replicas']}",
-            )
-            for params in self.grid_points()
-        ]
+        return [self._job_for(params) for params in self.grid_points()]
 
     def run(self, max_workers: int = 1, progress=None,
             raise_on_error: bool = True) -> list[SweepPoint]:
@@ -229,14 +281,13 @@ class BackendSweep(ParameterSweep):
             for params, outcome in zip(self.grid_points(), report.outcomes)
         ]
 
-    def _solve_point(self, backend, replicas) -> dict:
+    def _solve_point(self, method, backend, replicas) -> dict:
         # Runner hook for the base-class ParameterSweep.run() path: reuse
         # the single job-construction site and solve just that grid cell.
         from repro.runtime.executor import solve_many
 
-        job = next(
-            job for job in self.jobs()
-            if job.backend == backend and job.num_replicas == replicas
+        job = self._job_for(
+            {"method": method, "backend": backend, "replicas": replicas}
         )
         (outcome,) = solve_many([job], max_workers=1).outcomes
         return self._metrics(outcome.result, outcome.seconds)
@@ -275,21 +326,26 @@ def sweep_backends(
     problem,
     backends,
     replicas=(1,),
+    methods=None,
     max_workers: int = 1,
     title: str | None = None,
     progress=None,
     raise_on_error: bool = True,
     **kwargs,
 ) -> BackendSweepReport:
-    """One-call multi-backend comparison through the sharded executor.
+    """One-call method × backend comparison through the sharded executor.
 
-    Runs the ``backends × replicas`` grid on ``problem`` (extra keyword
-    arguments configure the shared solve, as in :class:`BackendSweep`) and
-    returns the points plus the rendered comparison table.  With
-    ``raise_on_error=False`` failed grid points render as NaN rows instead
-    of raising :class:`repro.runtime.SolveJobError`.
+    Runs the ``methods × backends × replicas`` grid on ``problem`` (extra
+    keyword arguments configure the shared solve, as in
+    :class:`BackendSweep`; ``methods`` defaults to SAIM alone, and
+    backend-free methods contribute one row each) and returns the points
+    plus the rendered comparison table.  With ``raise_on_error=False``
+    failed grid points render as NaN rows instead of raising
+    :class:`repro.runtime.SolveJobError`.
     """
-    sweep = BackendSweep(problem, backends, replicas=replicas, **kwargs)
+    sweep = BackendSweep(
+        problem, backends, replicas=replicas, methods=methods, **kwargs
+    )
     points = sweep.run(max_workers=max_workers, progress=progress,
                        raise_on_error=raise_on_error)
     if title is None:

@@ -4,56 +4,135 @@ One registry-backed entry point binds the three layers of the stack
 together: a *method* (the outer solver loop), a *backend* (the annealing
 machine implementing the :class:`repro.ising.backend.AnnealingBackend`
 protocol), and a :class:`repro.core.saim.SaimConfig` describing budgets and
-hyper-parameters.  The CLI, the experiment harness, and the benchmark
-drivers all route through here, so a new machine or solver variant becomes
-available everywhere by a single ``register_backend`` / ``register_method``
-call.
+hyper-parameters.  The CLI, the experiment harness, the sharded executor,
+and the benchmark drivers all route through here, so a new machine or
+solver variant becomes available everywhere by a single
+``register_backend`` / ``register_method`` call.
+
+**Every method returns the same schema** — a
+:class:`repro.core.report.SolveReport` with the canonical fields
+(``best_x``, ``best_cost``, ``feasible``, ``num_iterations``,
+``wall_seconds``, ``method``, ``backend``) plus the solver's native result
+as the typed ``detail`` payload.  That includes the paper's classical
+baselines: ``greedy``, ``ga`` (Chu–Beasley), ``milp`` (HiGHS), ``bnb``
+(LP-bounded branch & bound) and ``exhaustive`` are registered methods, so
+the comparison columns of Tables II and V flow through the same pipe as
+SAIM itself.
+
+Methods split into two families:
+
+- *annealing methods* (``saim``, ``penalty``) take a backend, a
+  :class:`~repro.core.saim.SaimConfig`, replicas, and seeds;
+- *backend-free methods* (the classical baselines) take only
+  ``method_options`` (and ``rng`` where stochastic) and **reject** backend
+  knobs — passing ``backend=``, ``backend_options=``, ``num_replicas>1``
+  or SAIM config fields to ``greedy`` raises instead of being silently
+  ignored.
 
 Usage::
 
     import repro
 
     instance = repro.generate_qkp(num_items=40, density=0.5, rng=1)
-    result = repro.solve(instance, num_iterations=100, mcs_per_run=300, rng=7)
+    report = repro.solve(instance, num_iterations=100, mcs_per_run=300, rng=7)
 
     # replica-parallel on a quantized machine
-    result = repro.solve(
+    report = repro.solve(
         instance, backend="quantized", num_replicas=8,
         backend_options={"bits": 10}, num_iterations=40, rng=7,
     )
+
+    # the same schema from a classical baseline
+    report = repro.solve(instance, method="greedy")
+    print(report.best_cost, report.detail.best_profit)
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+import time
+import warnings
+from dataclasses import dataclass, fields, replace
 
+from repro.core.report import SolveReport, coerce_report
 from repro.core.saim import SaimConfig
 
-_METHODS: dict = {}
-_BACKENDS: dict = {}
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """Registry entry for one solver method.
+
+    ``uses_backend`` / ``uses_config`` / ``uses_lambdas`` declare which
+    front-door knobs the method consumes; the front door rejects the others
+    up front so no knob is ever silently ignored.
+    """
+
+    name: str
+    runner: object
+    description: str = ""
+    uses_backend: bool = True
+    uses_config: bool = True
+    uses_lambdas: bool = False
+    default_backend: str = "pbit"
 
 
-def register_method(name: str, runner) -> None:
+@dataclass(frozen=True)
+class BackendSpec:
+    """Registry entry for one annealing backend."""
+
+    name: str
+    builder: object
+    description: str = ""
+
+
+_METHODS: dict[str, MethodSpec] = {}
+_BACKENDS: dict[str, BackendSpec] = {}
+
+
+def register_method(
+    name: str,
+    runner,
+    *,
+    description: str = "",
+    uses_backend: bool = True,
+    uses_config: bool = True,
+    uses_lambdas: bool = False,
+    default_backend: str = "pbit",
+) -> None:
     """Register a solver method.
 
-    ``runner(problem, config=..., backend=..., num_replicas=...,
-    aggregate=..., rng=..., initial_lambdas=..., backend_options=...)``
-    must return a result object.  ``backend`` is the registry name and
-    ``backend_options`` the raw builder options: the method decides what
-    the machine knobs mean (``make_backend_factory(backend,
-    **backend_options)`` resolves them into a machine factory) and raises
-    on knobs it does not support.
+    ``runner(problem, instance=..., config=..., backend=...,
+    num_replicas=..., aggregate=..., rng=..., initial_lambdas=...,
+    backend_options=..., method_options=...)`` returns either a
+    :class:`~repro.core.report.SolveReport` or a native result object
+    (coerced into the schema by the front door).  ``problem`` is the
+    :class:`~repro.core.problem.ConstrainedProblem` form; ``instance`` is
+    the original argument (the typed QKP/MKP instance when one was passed),
+    which is what the classical baselines consume.  ``backend`` is the
+    registry name and ``backend_options`` the raw builder options: the
+    method decides what the machine knobs mean
+    (``make_backend_factory(backend, **backend_options)`` resolves them
+    into a machine factory) and raises on knobs it does not support.
     """
-    _METHODS[name] = runner
+    _METHODS[name] = MethodSpec(
+        name=name,
+        runner=runner,
+        description=description,
+        uses_backend=uses_backend,
+        uses_config=uses_config,
+        uses_lambdas=uses_lambdas,
+        default_backend=default_backend,
+    )
 
 
-def register_backend(name: str, builder) -> None:
+def register_backend(name: str, builder, *, description: str = "") -> None:
     """Register an annealing backend.
 
     ``builder(**backend_options)`` must return a machine factory
     ``factory(model, rng) -> AnnealingBackend``.
     """
-    _BACKENDS[name] = builder
+    _BACKENDS[name] = BackendSpec(
+        name=name, builder=builder, description=description
+    )
 
 
 def available_methods() -> list[str]:
@@ -66,21 +145,53 @@ def available_backends() -> list[str]:
     return sorted(_BACKENDS)
 
 
-def make_backend_factory(backend: str = "pbit", **backend_options):
-    """Resolve a backend name (+ options) into a machine factory."""
+def method_info(name: str) -> MethodSpec:
+    """The :class:`MethodSpec` registered under ``name``."""
     try:
-        builder = _BACKENDS[backend]
+        return _METHODS[name]
     except KeyError:
         raise ValueError(
-            f"unknown backend {backend!r}; available: {available_backends()}"
+            f"unknown method {name!r}; available: {available_methods()}"
         ) from None
-    return builder(**backend_options)
+
+
+def backend_info(name: str) -> BackendSpec:
+    """The :class:`BackendSpec` registered under ``name``."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {available_backends()}"
+        ) from None
+
+
+def describe_methods() -> dict[str, str]:
+    """``{method name: one-line description}`` of the registry."""
+    return {name: _METHODS[name].description for name in available_methods()}
+
+
+def describe_backends() -> dict[str, str]:
+    """``{backend name: one-line description}`` of the registry."""
+    return {name: _BACKENDS[name].description for name in available_backends()}
+
+
+def make_backend_factory(backend: str = "pbit", **backend_options):
+    """Resolve a backend name (+ options) into a machine factory."""
+    return backend_info(backend).builder(**backend_options)
 
 
 def _build_config(config, overrides) -> SaimConfig:
+    valid = {f.name for f in fields(SaimConfig)}
+    unknown = set(overrides) - valid
+    if isinstance(config, dict):
+        unknown |= set(config) - valid
+    if unknown:
+        raise ValueError(
+            f"unknown SaimConfig field(s) {sorted(unknown)}; "
+            f"valid fields: {sorted(valid)}"
+        )
     if config is None:
-        base = SaimConfig(**overrides) if overrides else SaimConfig()
-        return base
+        return SaimConfig(**overrides) if overrides else SaimConfig()
     if isinstance(config, dict):
         merged = dict(config)
         merged.update(overrides)
@@ -92,10 +203,39 @@ def _build_config(config, overrides) -> SaimConfig:
     )
 
 
+def _reject_backend_knobs(method, backend, num_replicas, aggregate,
+                          backend_options, initial_lambdas, uses_lambdas):
+    """Backend-free methods refuse annealing knobs instead of ignoring them."""
+    if backend is not None:
+        raise ValueError(
+            f"method {method!r} is backend-free; it accepts no backend "
+            f"(got {backend!r})"
+        )
+    if backend_options:
+        raise ValueError(
+            f"method {method!r} is backend-free; it accepts no "
+            f"backend_options (got {sorted(backend_options)})"
+        )
+    if num_replicas != 1:
+        raise ValueError(
+            f"method {method!r} is backend-free; it has no replica loop "
+            f"(got num_replicas={num_replicas})"
+        )
+    if aggregate != "best":
+        raise ValueError(
+            f"method {method!r} is backend-free; it has no replica "
+            f"aggregate (got {aggregate!r})"
+        )
+    if initial_lambdas is not None and not uses_lambdas:
+        raise ValueError(
+            f"method {method!r} has no Lagrange multipliers to warm-start"
+        )
+
+
 def solve(
     problem,
     method: str = "saim",
-    backend: str = "pbit",
+    backend: str | None = None,
     *,
     config=None,
     num_replicas: int = 1,
@@ -103,8 +243,9 @@ def solve(
     rng=None,
     initial_lambdas=None,
     backend_options: dict | None = None,
+    method_options: dict | None = None,
     **config_overrides,
-):
+) -> SolveReport:
     """Solve a constrained problem through the registry.
 
     Parameters
@@ -112,59 +253,93 @@ def solve(
     problem:
         A :class:`repro.core.problem.ConstrainedProblem`, or any instance
         object exposing ``to_problem()`` (QKP/MKP/knapsack/max-cut
-        instances).
+        instances).  The classical baseline methods need the typed
+        instance — they raise on a bare ``ConstrainedProblem``.
     method:
-        Registered solver loop; ``"saim"`` (Algorithm 1 via the unified
-        engine) and ``"penalty"`` (the fixed-penalty baseline) ship by
-        default.
+        Registered solver loop; ``available_methods()`` lists them.  Ships
+        with ``"saim"`` (Algorithm 1 via the unified engine), ``"penalty"``
+        (fixed-penalty baseline) and the classical baselines ``"greedy"``,
+        ``"ga"``, ``"milp"``, ``"bnb"`` and ``"exhaustive"``.
     backend:
-        Registered annealing machine: ``"pbit"`` (paper Section III-B),
-        ``"metropolis"``, ``"quantized"``, ``"chromatic"`` or ``"pt"``.
+        Registered annealing machine for annealing methods (``"pbit"``,
+        ``"metropolis"``, ``"quantized"``, ``"chromatic"``, ``"pt"``);
+        ``None`` selects the method's default.  Backend-free methods reject
+        an explicit backend.
     config:
         A :class:`~repro.core.saim.SaimConfig`, a dict of its fields, or
         ``None``; keyword overrides (``num_iterations=...`` etc.) are
-        merged on top.
+        merged on top.  Only annealing methods take a config — baselines
+        are parameterized through ``method_options``.
     num_replicas / aggregate:
         Replica-parallel settings of the engine loop (``1`` is the paper's
         serial algorithm).
     rng:
-        Seed or generator.
+        Seed or generator (stochastic methods).
     initial_lambdas:
         Warm-started multipliers (methods that support them).
     backend_options:
         Extra keyword arguments for the backend builder (e.g.
         ``{"bits": 8}`` for ``"quantized"``).
+    method_options:
+        Method-specific options, e.g. ``{"num_children": 5000}`` for
+        ``"ga"`` or ``{"time_limit": 10.0}`` for ``"milp"``.
 
-    Returns the method's result object (a
-    :class:`repro.core.saim.SaimResult` for ``"saim"``).
+    Returns a :class:`repro.core.report.SolveReport` whose ``detail`` is
+    the method's native result object.
     """
+    spec = method_info(method)
+    instance = problem
     if hasattr(problem, "to_problem"):
         problem = problem.to_problem()
-    try:
-        runner = _METHODS[method]
-    except KeyError:
-        raise ValueError(
-            f"unknown method {method!r}; available: {available_methods()}"
-        ) from None
-    if backend not in _BACKENDS:
-        raise ValueError(
-            f"unknown backend {backend!r}; available: {available_backends()}"
+
+    if spec.uses_backend:
+        backend_name = backend if backend is not None else spec.default_backend
+        backend_info(backend_name)  # raises with the available list
+    else:
+        _reject_backend_knobs(
+            method, backend, num_replicas, aggregate, backend_options,
+            initial_lambdas, spec.uses_lambdas,
         )
-    resolved = _build_config(config, config_overrides)
-    return runner(
+        backend_name = None
+
+    if spec.uses_config:
+        resolved = _build_config(config, config_overrides)
+    else:
+        if config is not None or config_overrides:
+            given = sorted(config_overrides) if config_overrides else "config"
+            raise ValueError(
+                f"method {method!r} takes no SaimConfig (got {given}); "
+                f"use method_options for its settings"
+            )
+        resolved = None
+
+    start = time.perf_counter()
+    raw = spec.runner(
         problem,
+        instance=instance,
         config=resolved,
-        backend=backend,
+        backend=backend_name,
         num_replicas=num_replicas,
         aggregate=aggregate,
         rng=rng,
         initial_lambdas=initial_lambdas,
         backend_options=backend_options,
+        method_options=dict(method_options or {}),
     )
+    wall = time.perf_counter() - start
+
+    name = getattr(instance, "name", "") or getattr(problem, "name", "")
+    report = coerce_report(
+        raw, method=method, backend=backend_name, problem_name=name
+    )
+    report.wall_seconds = wall
+    if not report.problem_name:
+        report.problem_name = name
+    return report
 
 
 # --------------------------------------------------------------------------
-# Default registrations.
+# Default backend builders.
 
 def _pbit_builder():
     from repro.ising.pbit import PBitMachine
@@ -193,23 +368,54 @@ def _chromatic_builder():
     return ChromaticPBitMachine.from_dense
 
 
-def _pt_builder(num_replicas: int = 8, beta_min: float = 0.1,
-                read_out: str = "cold"):
+def _pt_builder(num_chains: int | None = None, beta_min: float = 0.1,
+                read_out: str = "cold", num_replicas: int | None = None):
+    # `num_chains` is the number of parallel-tempering chains inside ONE
+    # machine; the historical builder knob `num_replicas` collided in
+    # meaning with the engine-level replica batch (independent annealing
+    # runs per SAIM iteration) and survives only as a deprecated alias.
+    if num_replicas is not None:
+        warnings.warn(
+            "backend_options={'num_replicas': ...} for the 'pt' backend is "
+            "deprecated; the knob is the per-machine chain count - use "
+            "'num_chains' (engine-level replicas stay the num_replicas "
+            "argument of repro.solve)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if num_chains is not None and num_chains != num_replicas:
+            raise ValueError(
+                f"conflicting pt chain counts: num_chains={num_chains} vs "
+                f"deprecated num_replicas={num_replicas}; pass num_chains only"
+            )
+        num_chains = num_replicas
+    if num_chains is None:
+        num_chains = 8
+    if num_chains < 1:
+        raise ValueError(f"num_chains must be >= 1, got {num_chains}")
     from repro.ising.pt_machine import PTMachine
 
     def factory(model, rng=None):
         return PTMachine(
-            model, rng=rng, num_replicas=num_replicas,
+            model, rng=rng, num_replicas=num_chains,
             beta_min=beta_min, read_out=read_out,
         )
 
     return factory
 
 
+# --------------------------------------------------------------------------
+# Annealing methods.
+
 def _run_saim(problem, *, config, backend, num_replicas, aggregate, rng,
-              initial_lambdas, backend_options):
+              initial_lambdas, backend_options, method_options, **_):
     from repro.core.engine import SaimEngine
 
+    if method_options:
+        raise ValueError(
+            f"the saim method has no method_options (got "
+            f"{sorted(method_options)}); its settings live on SaimConfig"
+        )
     engine = SaimEngine(
         config,
         num_replicas=num_replicas,
@@ -218,11 +424,22 @@ def _run_saim(problem, *, config, backend, num_replicas, aggregate, rng,
             backend, **(backend_options or {})
         ),
     )
-    return engine.solve(problem, rng=rng, initial_lambdas=initial_lambdas)
+    result = engine.solve(problem, rng=rng, initial_lambdas=initial_lambdas)
+    return SolveReport(
+        method="saim",
+        backend=backend,
+        best_x=result.best_x,
+        best_cost=result.best_cost,
+        feasible=result.found_feasible,
+        num_iterations=result.num_iterations,
+        detail=result,
+        num_replicas=result.num_replicas,
+        total_mcs=result.total_mcs,
+    )
 
 
 def _run_penalty(problem, *, config, backend, num_replicas, aggregate, rng,
-                 initial_lambdas, backend_options):
+                 initial_lambdas, backend_options, method_options, **_):
     # The classical fixed-penalty baseline: one programmed Hamiltonian,
     # num_iterations independent annealing runs, no multiplier loop.  It
     # is hard-wired to p-bit batch annealing, so reject knobs it would
@@ -245,6 +462,11 @@ def _run_penalty(problem, *, config, backend, num_replicas, aggregate, rng,
         )
     if initial_lambdas is not None:
         raise ValueError("the penalty method has no Lagrange multipliers")
+    if method_options:
+        raise ValueError(
+            f"the penalty method has no method_options (got "
+            f"{sorted(method_options)}); its settings live on SaimConfig"
+        )
     from repro.core.encoding import encode_with_slacks, normalize_problem
     from repro.core.penalty import density_heuristic_penalty, penalty_method_solve
 
@@ -254,7 +476,7 @@ def _run_penalty(problem, *, config, backend, num_replicas, aggregate, rng,
     else:
         normalized, _ = normalize_problem(encoded.problem)
         penalty = density_heuristic_penalty(normalized, alpha=config.alpha)
-    return penalty_method_solve(
+    result = penalty_method_solve(
         encoded,
         penalty,
         num_runs=config.num_iterations,
@@ -263,12 +485,199 @@ def _run_penalty(problem, *, config, backend, num_replicas, aggregate, rng,
         rng=rng,
         read_best=config.read_best,
     )
+    return SolveReport(
+        method="penalty",
+        backend=backend,
+        best_x=result.best_x,
+        best_cost=result.best_cost,
+        feasible=result.best_x is not None,
+        num_iterations=result.num_runs,
+        detail=result,
+        total_mcs=result.total_mcs,
+    )
 
 
-register_backend("pbit", _pbit_builder)
-register_backend("metropolis", _metropolis_builder)
-register_backend("quantized", _quantized_builder)
-register_backend("chromatic", _chromatic_builder)
-register_backend("pt", _pt_builder)
-register_method("saim", _run_saim)
-register_method("penalty", _run_penalty)
+# --------------------------------------------------------------------------
+# Classical baseline methods (backend-free).
+
+def _pop_options(method, options, **defaults):
+    """Extract known option keys; raise on leftovers."""
+    values = {key: options.pop(key, default) for key, default in defaults.items()}
+    if options:
+        raise ValueError(
+            f"unknown method_options for {method!r}: {sorted(options)}; "
+            f"valid options: {sorted(defaults)}"
+        )
+    return values
+
+
+def _require_instance(method, instance):
+    from repro.problems.mkp import MkpInstance
+    from repro.problems.qkp import QkpInstance
+
+    if not isinstance(instance, (QkpInstance, MkpInstance)):
+        raise ValueError(
+            f"method {method!r} needs a typed QKP or MKP instance, got "
+            f"{type(instance).__name__}"
+        )
+    return instance
+
+
+def _run_greedy(problem, *, instance, rng, method_options, **_):
+    del problem, rng  # deterministic, works on the typed instance
+    from repro.baselines.greedy import greedy_solve
+
+    opts = _pop_options("greedy", method_options, improve=True, max_rounds=50)
+    result = greedy_solve(
+        _require_instance("greedy", instance),
+        improve=bool(opts["improve"]), max_rounds=int(opts["max_rounds"]),
+    )
+    return SolveReport(
+        method="greedy",
+        backend=None,
+        best_x=result.best_x,
+        best_cost=-result.best_profit,
+        feasible=True,
+        num_iterations=1,
+        detail=result,
+    )
+
+
+def _run_ga(problem, *, instance, rng, method_options, **_):
+    del problem
+    from repro.baselines.ga import GaConfig, chu_beasley_ga
+
+    opts = _pop_options(
+        "ga", method_options, population_size=100, num_children=20000,
+        mutation_bits=2, tournament_size=2,
+    )
+    result = chu_beasley_ga(
+        _require_instance("ga", instance), GaConfig(**opts), rng=rng
+    )
+    return SolveReport(
+        method="ga",
+        backend=None,
+        best_x=result.best_x,
+        best_cost=-result.best_profit,
+        feasible=True,
+        num_iterations=result.generations,
+        detail=result,
+    )
+
+
+def _run_milp(problem, *, instance, method_options, **_):
+    del problem
+    from repro.baselines.milp import milp_solve
+
+    opts = _pop_options("milp", method_options, time_limit=None)
+    try:
+        result = milp_solve(
+            _require_instance("milp", instance), time_limit=opts["time_limit"]
+        )
+    except TypeError as error:
+        raise ValueError(str(error)) from None
+    return SolveReport(
+        method="milp",
+        backend=None,
+        best_x=result.x,
+        best_cost=-result.profit,
+        feasible=True,
+        num_iterations=1,
+        detail=result,
+    )
+
+
+def _run_bnb(problem, *, instance, method_options, **_):
+    del problem
+    from repro.baselines.branch_and_bound import bnb_solve
+
+    opts = _pop_options("bnb", method_options, max_nodes=None)
+    result = bnb_solve(
+        _require_instance("bnb", instance), max_nodes=opts["max_nodes"]
+    )
+    return SolveReport(
+        method="bnb",
+        backend=None,
+        best_x=result.x,
+        best_cost=-result.profit,
+        feasible=True,
+        num_iterations=result.nodes_explored,
+        detail=result,
+    )
+
+
+def _run_exhaustive(problem, *, instance, method_options, **_):
+    from repro.baselines.exact_qkp import exhaustive_solve
+
+    _pop_options("exhaustive", method_options)
+    del instance  # the enumeration runs on the ConstrainedProblem form
+    result = exhaustive_solve(problem)
+    return SolveReport(
+        method="exhaustive",
+        backend=None,
+        best_x=result.best_x,
+        best_cost=result.best_cost,
+        feasible=result.found_feasible,
+        num_iterations=1,
+        detail=result,
+    )
+
+
+# --------------------------------------------------------------------------
+# Default registrations.
+
+register_backend(
+    "pbit", _pbit_builder,
+    description="probabilistic-bit machine of paper Section III-B",
+)
+register_backend(
+    "metropolis", _metropolis_builder,
+    description="single-flip Metropolis simulated annealing",
+)
+register_backend(
+    "quantized", _quantized_builder,
+    description="fixed-point p-bit machine (backend_options={'bits': 8})",
+)
+register_backend(
+    "chromatic", _chromatic_builder,
+    description="graph-colored sparse p-bit arrays (block-parallel sweeps)",
+)
+register_backend(
+    "pt", _pt_builder,
+    description="parallel tempering (backend_options={'num_chains': 8})",
+)
+register_method(
+    "saim", _run_saim,
+    description="self-adaptive Ising machine, Algorithm 1 (any backend)",
+    uses_backend=True, uses_config=True, uses_lambdas=True,
+)
+register_method(
+    "penalty", _run_penalty,
+    description="classical fixed-penalty annealing baseline (pbit only)",
+    uses_backend=True, uses_config=True,
+)
+register_method(
+    "greedy", _run_greedy,
+    description="density-ordered greedy construction + local improvement",
+    uses_backend=False, uses_config=False,
+)
+register_method(
+    "ga", _run_ga,
+    description="Chu-Beasley steady-state genetic algorithm [28]",
+    uses_backend=False, uses_config=False,
+)
+register_method(
+    "milp", _run_milp,
+    description="exact MKP via scipy HiGHS MILP (paper's intlinprog stand-in)",
+    uses_backend=False, uses_config=False,
+)
+register_method(
+    "bnb", _run_bnb,
+    description="exact LP-bounded depth-first branch & bound (QKP and MKP)",
+    uses_backend=False, uses_config=False,
+)
+register_method(
+    "exhaustive", _run_exhaustive,
+    description="exact enumeration of all 2^N assignments (N <= 24)",
+    uses_backend=False, uses_config=False,
+)

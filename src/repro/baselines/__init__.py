@@ -13,17 +13,28 @@
 """
 
 from repro.baselines.greedy import (
+    GreedyResult,
     greedy_qkp,
     greedy_mkp,
+    greedy_solve,
     repair_mkp,
     repair_qkp,
     local_improve_qkp,
     local_improve_mkp,
 )
 from repro.baselines.ga import chu_beasley_ga, GaConfig, GaResult
-from repro.baselines.milp import solve_mkp_exact, MilpResult
-from repro.baselines.branch_and_bound import branch_and_bound_mkp, BnBResult
-from repro.baselines.exact_qkp import exact_qkp_bruteforce, reference_qkp_optimum
+from repro.baselines.milp import milp_solve, solve_mkp_exact, MilpResult
+from repro.baselines.branch_and_bound import (
+    BnBResult,
+    bnb_solve,
+    branch_and_bound_mkp,
+)
+from repro.baselines.exact_qkp import (
+    ExhaustiveResult,
+    exact_qkp_bruteforce,
+    exhaustive_solve,
+    reference_qkp_optimum,
+)
 from repro.baselines.qkp_bounds import (
     branch_and_bound_qkp,
     QkpBnBResult,
@@ -38,6 +49,8 @@ __all__ = [
     "optimistic_profits",
     "greedy_qkp",
     "greedy_mkp",
+    "greedy_solve",
+    "GreedyResult",
     "repair_mkp",
     "repair_qkp",
     "local_improve_qkp",
@@ -45,10 +58,14 @@ __all__ = [
     "chu_beasley_ga",
     "GaConfig",
     "GaResult",
+    "milp_solve",
     "solve_mkp_exact",
     "MilpResult",
+    "bnb_solve",
     "branch_and_bound_mkp",
     "BnBResult",
     "exact_qkp_bruteforce",
+    "exhaustive_solve",
+    "ExhaustiveResult",
     "reference_qkp_optimum",
 ]

@@ -103,3 +103,27 @@ def branch_and_bound_mkp(
         nodes_explored=nodes_explored,
         nodes_pruned=nodes_pruned,
     )
+
+
+def bnb_solve(instance, max_nodes: int | None = None):
+    """Front-door entry of the ``"bnb"`` method: exact depth-first search.
+
+    Dispatches on the instance family — this module's LP-bounded B&B for
+    MKP, :func:`repro.baselines.qkp_bounds.branch_and_bound_qkp` for QKP.
+    Returns a :class:`BnBResult` or
+    :class:`~repro.baselines.qkp_bounds.QkpBnBResult`.
+    """
+    if isinstance(instance, MkpInstance):
+        kwargs = {} if max_nodes is None else {"max_nodes": max_nodes}
+        return branch_and_bound_mkp(instance, **kwargs)
+    from repro.problems.qkp import QkpInstance
+
+    if isinstance(instance, QkpInstance):
+        from repro.baselines.qkp_bounds import branch_and_bound_qkp
+
+        kwargs = {} if max_nodes is None else {"max_nodes": max_nodes}
+        return branch_and_bound_qkp(instance, **kwargs)
+    raise TypeError(
+        f"bnb_solve needs a QkpInstance or MkpInstance, "
+        f"got {type(instance).__name__}"
+    )

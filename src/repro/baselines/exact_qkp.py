@@ -12,6 +12,8 @@ QKP has no polynomial certificate, so the repo uses two tiers:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.baselines.greedy import greedy_qkp, local_improve_qkp, repair_qkp
@@ -42,6 +44,86 @@ def exact_qkp_bruteforce(instance: QkpInstance) -> tuple[np.ndarray, float]:
     )
     best = int(np.argmax(profits))
     return table[feasible][best].copy(), float(profits[best])
+
+
+@dataclass
+class ExhaustiveResult:
+    """Exact enumeration outcome of the ``"exhaustive"`` front-door method.
+
+    ``best_x``/``best_cost`` are in the original (minimization-form)
+    objective; ``num_feasible`` counts the feasible assignments seen, out of
+    the full ``2**N`` enumeration.
+    """
+
+    best_x: np.ndarray | None
+    best_cost: float
+    num_feasible: int
+    num_states: int
+
+    @property
+    def found_feasible(self) -> bool:
+        """True iff the feasible region is non-empty."""
+        return self.best_x is not None
+
+
+def exhaustive_solve(problem) -> ExhaustiveResult:
+    """Exact optimum of any small constrained problem by full enumeration.
+
+    ``problem`` is a typed instance (anything exposing ``to_problem()``) or
+    a bare :class:`~repro.core.problem.ConstrainedProblem`; all ``2**N``
+    assignments are evaluated vectorized, in bounded-memory chunks, limited
+    to ``N <= 24`` variables.
+    """
+    if hasattr(problem, "to_problem"):
+        problem = problem.to_problem()
+    n = problem.num_variables
+    if n > _BRUTE_FORCE_LIMIT:
+        raise ValueError(
+            f"exhaustive enumeration limited to {_BRUTE_FORCE_LIMIT} "
+            f"variables, got {n}"
+        )
+    eq, ineq = problem.equalities, problem.inequalities
+    chunk_bits = min(n, 16)
+    low = ((np.arange(2**chunk_bits, dtype=np.int64)[:, None]
+            >> np.arange(chunk_bits)) & 1).astype(float)
+    num_feasible = 0
+    best_cost = np.inf
+    best_code = None
+    for high in range(2 ** (n - chunk_bits)):
+        high_bits = ((high >> np.arange(n - chunk_bits)) & 1).astype(float)
+        table = np.hstack([low, np.tile(high_bits, (low.shape[0], 1))])
+        costs = (
+            np.einsum("bi,ij,bj->b", table, problem.quadratic, table)
+            + table @ problem.linear
+            + problem.offset
+        )
+        feasible = np.ones(table.shape[0], dtype=bool)
+        if eq.num_constraints:
+            feasible &= np.all(
+                np.abs(table @ eq.coefficients.T - eq.bounds) <= 1e-9, axis=1
+            )
+        if ineq.num_constraints:
+            feasible &= np.all(
+                table @ ineq.coefficients.T <= ineq.bounds + 1e-9, axis=1
+            )
+        num_feasible += int(np.count_nonzero(feasible))
+        masked = np.where(feasible, costs, np.inf)
+        local = int(np.argmin(masked))
+        if masked[local] < best_cost:
+            best_cost = float(masked[local])
+            best_code = high * low.shape[0] + local
+    if best_code is None or not np.isfinite(best_cost):
+        return ExhaustiveResult(
+            best_x=None, best_cost=float("inf"), num_feasible=0,
+            num_states=2**n,
+        )
+    best_x = ((best_code >> np.arange(n)) & 1).astype(np.int8)
+    return ExhaustiveResult(
+        best_x=best_x,
+        best_cost=best_cost,
+        num_feasible=num_feasible,
+        num_states=2**n,
+    )
 
 
 def reference_qkp_optimum(

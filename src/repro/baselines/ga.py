@@ -1,9 +1,13 @@
-"""Chu–Beasley genetic algorithm for the multidimensional knapsack [28].
+"""Chu–Beasley genetic algorithm for knapsack-family instances [28].
 
 The GA column of the paper's Table V.  This is the classic steady-state GA:
-binary tournament selection, uniform crossover, bit-flip mutation, the
-drop/refill repair operator of :func:`repro.baselines.greedy.repair_mkp`,
-and child-replaces-worst with duplicate rejection.
+binary tournament selection, uniform crossover, bit-flip mutation, a
+drop/refill repair operator, and child-replaces-worst with duplicate
+rejection.  The algorithm only touches the instance through ``profit`` and
+a repair operator, so the same loop serves MKP (the paper's benchmark,
+via :func:`repro.baselines.greedy.repair_mkp`) and QKP (via
+:func:`repro.baselines.greedy.repair_qkp`) — the ``"ga"`` front-door
+method dispatches on the instance family.
 """
 
 from __future__ import annotations
@@ -12,8 +16,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.baselines.greedy import repair_mkp
+from repro.baselines.greedy import repair_mkp, repair_qkp
 from repro.problems.mkp import MkpInstance
+from repro.problems.qkp import QkpInstance
 from repro.utils.rng import ensure_rng
 
 
@@ -57,8 +62,20 @@ def _tournament(rng, profits: np.ndarray, size: int) -> int:
     return int(contenders[np.argmax(profits[contenders])])
 
 
+def _repair_for(instance):
+    """The family-specific drop/refill repair operator for ``instance``."""
+    if isinstance(instance, MkpInstance):
+        return repair_mkp
+    if isinstance(instance, QkpInstance):
+        return repair_qkp
+    raise TypeError(
+        f"chu_beasley_ga needs a QkpInstance or MkpInstance, "
+        f"got {type(instance).__name__}"
+    )
+
+
 def chu_beasley_ga(
-    instance: MkpInstance,
+    instance: MkpInstance | QkpInstance,
     config: GaConfig | None = None,
     rng=None,
 ) -> GaResult:
@@ -69,6 +86,7 @@ def chu_beasley_ga(
     """
     config = config if config is not None else GaConfig()
     rng = ensure_rng(rng)
+    repair = _repair_for(instance)
     n = instance.num_items
     pop_size = config.population_size
 
@@ -76,7 +94,7 @@ def chu_beasley_ga(
     population = np.zeros((pop_size, n), dtype=np.int8)
     for p in range(pop_size):
         raw = (rng.uniform(0, 1, size=n) < 0.5).astype(np.int8)
-        population[p] = repair_mkp(instance, raw)
+        population[p] = repair(instance, raw)
     profits = np.array([instance.profit(ind) for ind in population])
 
     best_idx = int(np.argmax(profits))
@@ -93,7 +111,7 @@ def chu_beasley_ga(
         if config.mutation_bits:
             flips = rng.integers(0, n, size=config.mutation_bits)
             child[flips] ^= 1
-        child = repair_mkp(instance, child)
+        child = repair(instance, child)
 
         key = child.tobytes()
         if key not in seen:

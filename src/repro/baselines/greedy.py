@@ -1,15 +1,19 @@
 """Greedy construction, repair and local-improvement heuristics.
 
-These serve three roles:
+These serve four roles:
 
 - fast reference points for the examples and tests;
 - the repair operator inside the Chu–Beasley GA (every GA child is made
   feasible by dropping items, then greedily refilled);
 - building blocks of the "best-known" QKP reference optimum used by the
-  accuracy metric when instances are too large to solve exactly.
+  accuracy metric when instances are too large to solve exactly;
+- the registered ``"greedy"`` front-door method (:func:`greedy_solve`),
+  the paper's simplest baseline column.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -141,6 +145,41 @@ def repair_mkp(instance: MkpInstance, x) -> np.ndarray:
             x[i] = 1
             loads = new_loads
     return x
+
+
+@dataclass
+class GreedyResult:
+    """Outcome of one greedy construction (+ optional local improvement)."""
+
+    best_x: np.ndarray
+    best_profit: float
+    improved: bool
+
+
+def greedy_solve(
+    instance, improve: bool = True, max_rounds: int = 50
+) -> GreedyResult:
+    """Construct a feasible selection greedily; optionally hill-climb it.
+
+    Dispatches on the instance family (:class:`~repro.problems.qkp.QkpInstance`
+    or :class:`~repro.problems.mkp.MkpInstance`) — the entry point behind the
+    ``"greedy"`` front-door method.
+    """
+    if isinstance(instance, QkpInstance):
+        construct, refine = greedy_qkp, local_improve_qkp
+    elif isinstance(instance, MkpInstance):
+        construct, refine = greedy_mkp, local_improve_mkp
+    else:
+        raise TypeError(
+            f"greedy_solve needs a QkpInstance or MkpInstance, "
+            f"got {type(instance).__name__}"
+        )
+    x = construct(instance)
+    if improve:
+        x = refine(instance, x, max_rounds=max_rounds)
+    return GreedyResult(
+        best_x=x, best_profit=float(instance.profit(x)), improved=improve
+    )
 
 
 def local_improve_mkp(instance: MkpInstance, x, max_rounds: int = 50) -> np.ndarray:

@@ -59,6 +59,22 @@ def solve_mkp_exact(instance: MkpInstance, time_limit: float | None = None) -> M
     )
 
 
+def milp_solve(instance, time_limit: float | None = None) -> MilpResult:
+    """Front-door entry of the ``"milp"`` method: exact linear knapsacks.
+
+    HiGHS handles *linear* objectives, so this accepts MKP instances only;
+    QKP's quadratic objective gets a pointed redirect to the exact methods
+    that do handle it.
+    """
+    if isinstance(instance, MkpInstance):
+        return solve_mkp_exact(instance, time_limit=time_limit)
+    raise TypeError(
+        f"the milp method solves linear-objective MKP instances, got "
+        f"{type(instance).__name__} (for QKP use method='bnb' or "
+        f"'exhaustive')"
+    )
+
+
 def mkp_lp_bound(instance: MkpInstance) -> float:
     """Upper bound on the optimal profit from the LP relaxation."""
     from scipy.optimize import linprog

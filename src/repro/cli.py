@@ -2,18 +2,23 @@
 
 Usage (after ``pip install -e .`` / ``python setup.py develop``)::
 
+    python -m repro.cli info
     python -m repro.cli generate-qkp out.qkp --items 50 --density 0.5 --seed 1
-    python -m repro.cli solve out.qkp --solver saim --iterations 150
+    python -m repro.cli solve out.qkp --method saim --iterations 150
     python -m repro.cli solve out.qkp --replicas 8 --backend quantized
-    python -m repro.cli solve instance.mkp --solver exact
-    python -m repro.cli sweep out.qkp --backends pbit,quantized \
-        --replicas 1,8 --workers 4
+    python -m repro.cli solve out.qkp --method greedy
+    python -m repro.cli solve instance.mkp --method milp
+    python -m repro.cli sweep out.qkp --methods saim,greedy,bnb \
+        --backends pbit,quantized --replicas 1,8 --workers 4
 
-SAIM-family solvers go through the :func:`repro.solve` front door, so any
-registered backend (``--backend``) and replica count (``--replicas``) is
-available from the command line.  ``sweep`` runs the backend × replica grid
-through the sharded :func:`repro.solve_many` executor and prints one
-comparison table.
+``--method`` accepts any registered front-door method (``repro info``
+lists them with one-line descriptions) and always prints the uniform
+:class:`repro.core.report.SolveReport` digest; backend knobs
+(``--backend`` / ``--replicas``) apply to annealing methods only.  The
+older ``--solver`` spellings (``saim-pt``, ``parallel-saim``, ``exact``,
+the tuned ``penalty``) are still accepted.  ``sweep`` runs the method ×
+backend × replica grid through the sharded :func:`repro.solve_many`
+executor and prints one comparison table.
 
 Formats are auto-detected from the extension (``.qkp`` / ``.mkp``); see
 :mod:`repro.problems.io`.
@@ -48,13 +53,24 @@ def _build_parser() -> argparse.ArgumentParser:
     gen_mkp.add_argument("--tightness", type=float, default=0.5)
     gen_mkp.add_argument("--seed", type=int, default=0)
 
+    sub.add_parser(
+        "info",
+        help="list registered solver methods and annealing backends",
+    )
+
     solve = sub.add_parser("solve", help="solve an instance file")
     solve.add_argument("path", type=Path)
+    solve.add_argument(
+        "--method", default=None,
+        help="registered front-door method (see `repro info`); mutually "
+             "exclusive with --solver",
+    )
     solve.add_argument(
         "--solver",
         choices=("saim", "saim-pt", "parallel-saim", "penalty", "greedy",
                  "exact", "ga"),
-        default="saim",
+        default=None,
+        help="legacy solver spellings (default: saim)",
     )
     solve.add_argument(
         "--backend", default=None,
@@ -67,17 +83,25 @@ def _build_parser() -> argparse.ArgumentParser:
              "defaults to 4 and divides --iterations by the replica "
              "count to keep the total MCS budget matched)",
     )
-    solve.add_argument("--iterations", type=int, default=150,
-                       help="SAIM iterations / penalty runs")
-    solve.add_argument("--mcs", type=int, default=400, help="MCS per run")
+    solve.add_argument("--iterations", type=int, default=None,
+                       help="SAIM iterations / penalty runs (default 150; "
+                            "annealing methods only)")
+    solve.add_argument("--mcs", type=int, default=None,
+                       help="MCS per run (default 400; annealing methods "
+                            "only)")
     solve.add_argument("--seed", type=int, default=0)
 
     sweep = sub.add_parser(
         "sweep",
-        help="compare backends x replica counts on one instance "
+        help="compare methods x backends x replica counts on one instance "
              "(sharded across --workers processes)",
     )
     sweep.add_argument("path", type=Path)
+    sweep.add_argument(
+        "--methods", default="saim",
+        help="comma-separated method names (see `repro info`); backend-free "
+             "methods contribute one row each",
+    )
     sweep.add_argument(
         "--backends", default="pbit",
         help="comma-separated backend names (see repro.available_backends())",
@@ -133,6 +157,21 @@ def _parse_csv(text: str, kind: str, cast):
         raise SystemExit(f"--{kind} has a malformed entry in {text!r}") from None
 
 
+def _info() -> int:
+    import repro
+
+    print("methods (repro.solve(..., method=...)):")
+    for name, description in repro.describe_methods().items():
+        spec = repro.method_info(name)
+        knobs = "backend, replicas" if spec.uses_backend else "backend-free"
+        print(f"  {name:<12} {description}  [{knobs}]")
+    print()
+    print("backends (annealing methods only; repro.solve(..., backend=...)):")
+    for name, description in repro.describe_backends().items():
+        print(f"  {name:<12} {description}")
+    return 0
+
+
 def _sweep(args) -> int:
     import repro
 
@@ -140,6 +179,13 @@ def _sweep(args) -> int:
     print(f"Loaded {kind.upper()} instance {instance.name!r} "
           f"({instance.num_items} items)")
 
+    methods = _parse_csv(args.methods, "methods", str)
+    for method in methods:
+        if method not in repro.available_methods():
+            raise SystemExit(
+                f"unknown method {method!r}; choose from "
+                f"{', '.join(repro.available_methods())}"
+            )
     backends = _parse_csv(args.backends, "backends", str)
     for backend in backends:
         if backend not in repro.available_backends():
@@ -154,8 +200,12 @@ def _sweep(args) -> int:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
 
     config = _scaled_config(kind, args.iterations, args.mcs)
+    sweep = repro.BackendSweep(
+        instance, backends=backends, replicas=replicas, methods=methods,
+        config=config, rng=args.seed,
+    )
     done = {"count": 0, "failed": 0}
-    total = len(backends) * len(replicas)
+    total = len(sweep.grid_points())
 
     def progress(outcome):
         done["count"] += 1
@@ -165,38 +215,104 @@ def _sweep(args) -> int:
         print(f"  [{done['count']}/{total}] {outcome.job.tag}: {status} "
               f"({outcome.seconds:.2f}s)")
 
-    report = repro.sweep_backends(
-        instance,
-        backends=backends,
-        replicas=replicas,
-        max_workers=args.workers,
-        config=config,
-        rng=args.seed,
-        progress=progress,
+    points = sweep.run(
+        max_workers=args.workers, progress=progress,
         raise_on_error=False,  # failed cells become NaN rows, not a crash
-        title=f"Backend sweep on {instance.name} "
-              f"({args.iterations} iterations, {args.workers} workers)",
     )
     print()
-    print(report.table)
+    print(sweep.render(
+        points, metrics=list(repro.BackendSweep.METRICS),
+        title=f"Solver sweep on {instance.name} "
+              f"({args.iterations} iterations, {args.workers} workers)",
+    ))
     if done["failed"]:
         print(f"{done['failed']} grid point(s) failed (NaN rows above)")
         return 1
     try:
-        best = report.best()
+        best = sweep.best(points, "best_cost", maximize=False)
     except ValueError:
         print("no grid point found a feasible sample - increase --iterations")
         return 1
-    print(f"best: backend={best.params['backend']} "
+    print(f"best: method={best.params['method']} "
+          f"backend={best.params['backend']} "
           f"R={best.params['replicas']} "
           f"profit {-best.metrics['best_cost']:.0f}")
     return 0
 
 
+def _solve_method(args, instance, kind) -> int:
+    """The uniform --method path: any registered method, one report shape."""
+    import repro
+
+    method = args.method
+    if method not in repro.available_methods():
+        raise SystemExit(
+            f"unknown method {method!r}; choose from "
+            f"{', '.join(repro.available_methods())}"
+        )
+    spec = repro.method_info(method)
+    kwargs = {}
+    if spec.uses_backend:
+        backend = args.backend
+        if backend is not None and backend not in repro.available_backends():
+            raise SystemExit(
+                f"unknown backend {backend!r}; choose from "
+                f"{', '.join(repro.available_backends())}"
+            )
+        replicas = args.replicas if args.replicas is not None else 1
+        if replicas < 1:
+            raise SystemExit(f"--replicas must be >= 1, got {replicas}")
+        kwargs.update(backend=backend, num_replicas=replicas)
+    else:
+        for flag, value in (("--backend", args.backend),
+                            ("--replicas", args.replicas),
+                            ("--iterations", args.iterations),
+                            ("--mcs", args.mcs)):
+            if value is not None:
+                raise SystemExit(
+                    f"method {method!r} is backend-free; {flag} does not apply"
+                )
+    if spec.uses_config:
+        kwargs.update(
+            config=_scaled_config(
+                kind,
+                args.iterations if args.iterations is not None else 150,
+                args.mcs if args.mcs is not None else 400,
+            ),
+        )
+    kwargs.update(rng=args.seed)
+
+    report = repro.solve(instance, method=method, **kwargs)
+    print(report.summary())
+    if report.feasible:
+        print(f"best profit: {-report.best_cost:.0f}")
+        selected = [int(i) for i in np.nonzero(report.best_x)[0]]
+        print(f"selected items: {selected}")
+        return 0
+    if spec.uses_config:
+        print("no feasible sample found - increase --iterations")
+    else:
+        print("no feasible sample found - the instance has no feasible "
+              "assignment for this method")
+    return 1
+
+
 def _solve(args) -> int:
+    if args.method is not None and args.solver is not None:
+        raise SystemExit("--method and --solver are mutually exclusive")
+
     instance, kind = _load_instance(args.path)
     print(f"Loaded {kind.upper()} instance {instance.name!r} "
           f"({instance.num_items} items)")
+
+    if args.method is not None:
+        return _solve_method(args, instance, kind)
+    if args.solver is None:
+        args.solver = "saim"
+    if args.iterations is None:
+        args.iterations = 150
+    if args.mcs is None:
+        args.mcs = 400
 
     if args.solver == "greedy":
         from repro.baselines.greedy import (
@@ -243,8 +359,8 @@ def _solve(args) -> int:
         return 0
 
     if args.solver == "penalty":
-        from repro.core.encoding import encode_with_slacks, normalize_problem
-        from repro.core.penalty import density_heuristic_penalty, tune_penalty
+        from repro.core.encoding import encode_with_slacks
+        from repro.core.penalty import tune_penalty
 
         encoded = encode_with_slacks(instance.to_problem())
         tuned = tune_penalty(
@@ -330,6 +446,9 @@ def main(argv=None) -> int:
         write_mkp(instance, args.path)
         print(f"wrote {args.path}")
         return 0
+
+    if args.command == "info":
+        return _info()
 
     if args.command == "sweep":
         return _sweep(args)

@@ -32,6 +32,7 @@ from repro.core.schedule import (
 )
 from repro.core.saim import SelfAdaptiveIsingMachine, SaimConfig, SaimResult
 from repro.core.engine import SaimEngine
+from repro.core.report import SolveReport, coerce_report
 from repro.core.results import FeasibleRecord, SolveTrace
 from repro.core.hybrid_encoding import (
     encode_with_hybrid_slacks,
@@ -87,6 +88,8 @@ __all__ = [
     "SaimEngine",
     "SaimConfig",
     "SaimResult",
+    "SolveReport",
+    "coerce_report",
     "FeasibleRecord",
     "SolveTrace",
 ]

@@ -1,0 +1,204 @@
+"""The canonical result schema of the front door: :class:`SolveReport`.
+
+Every registered method — SAIM, the fixed-penalty baseline, greedy, the
+Chu–Beasley GA, MILP, branch & bound, exhaustive enumeration — returns the
+same schema from :func:`repro.solve`, so comparison tables, the sharded
+executor, and the sweep drivers consume one shape regardless of which
+solver produced a row.  The canonical fields answer the questions every
+consumer asks (what was found, was it feasible, what did it cost to find);
+everything solver-specific lives in the typed ``detail`` payload
+(:class:`repro.core.saim.SaimResult`,
+:class:`repro.core.penalty.PenaltyMethodResult`,
+:class:`repro.baselines.ga.GaResult`,
+:class:`repro.baselines.milp.MilpResult`, ...).
+
+Attribute access falls through to ``detail``: ``report.final_lambdas``,
+``report.trace`` or ``report.feasible_ratio`` resolve on the payload when
+the canonical schema does not define them, so SAIM-aware call sites keep
+reading the fields they always read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Canonical fields compared by ``SolveReport.__eq__`` (wall-clock time and
+#: the solver-specific payload are excluded: two identical solves must
+#: compare equal however long each happened to take).
+_EQ_FIELDS = (
+    "method",
+    "backend",
+    "best_cost",
+    "feasible",
+    "num_iterations",
+    "num_replicas",
+    "total_mcs",
+    "problem_name",
+)
+
+
+@dataclass(eq=False)
+class SolveReport:
+    """One solve, in the registry-wide schema.
+
+    Attributes
+    ----------
+    method / backend:
+        Registry names of the solver loop and the annealing machine;
+        ``backend`` is ``None`` for backend-free methods (greedy, GA, MILP,
+        branch & bound, exhaustive).
+    best_x / best_cost:
+        Best feasible assignment in the *original* problem's variables and
+        (minimization-form) objective scale; ``best_x`` is ``None`` and
+        ``best_cost`` is ``inf``/``nan`` when nothing feasible was found.
+    feasible:
+        True iff ``best_x`` is a feasible assignment.
+    num_iterations:
+        The method's own outer-loop count: multiplier updates for SAIM,
+        annealing runs for the penalty method, children for the GA, explored
+        nodes for branch & bound, and 1 for one-shot solvers.
+    wall_seconds:
+        Wall-clock duration of the solve, measured by the front door.
+    detail:
+        The method's native result object (typed payload).
+    problem_name:
+        ``name`` of the instance/problem that was solved, if it had one.
+    num_replicas / total_mcs:
+        Annealing accounting (replica batch width and total Monte-Carlo
+        sweeps); ``1`` / ``0`` for non-annealing methods.
+    """
+
+    method: str
+    backend: str | None
+    best_x: np.ndarray | None
+    best_cost: float
+    feasible: bool
+    num_iterations: int
+    wall_seconds: float = 0.0
+    detail: object = None
+    problem_name: str = ""
+    num_replicas: int = 1
+    total_mcs: int = 0
+
+    @property
+    def found_feasible(self) -> bool:
+        """Alias of ``feasible`` (the historical ``SaimResult`` spelling)."""
+        return self.feasible
+
+    @property
+    def best_profit(self) -> float:
+        """``-best_cost`` — the maximization-form reading (knapsack profit)."""
+        return -self.best_cost if self.feasible else float("nan")
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        backend = self.backend if self.backend is not None else "-"
+        found = (
+            f"best cost {self.best_cost:g}" if self.feasible
+            else "no feasible sample"
+        )
+        return (
+            f"{self.method}[{backend}] on {self.problem_name or 'problem'}: "
+            f"{found} in {self.num_iterations} iterations "
+            f"({self.wall_seconds:.2f}s)"
+        )
+
+    def __eq__(self, other) -> bool:
+        """Outcome equality: canonical fields and ``best_x``, ignoring
+        ``wall_seconds`` and ``detail`` (timing is nondeterministic and the
+        payloads hold arrays that do not compare atomically)."""
+        if not isinstance(other, SolveReport):
+            return NotImplemented
+        for name in _EQ_FIELDS:
+            mine, theirs = getattr(self, name), getattr(other, name)
+            if name == "best_cost":
+                if np.isnan(mine) != np.isnan(theirs):
+                    return False
+                if not np.isnan(mine) and mine != theirs:
+                    return False
+            elif mine != theirs:
+                return False
+        if (self.best_x is None) != (other.best_x is None):
+            return False
+        return self.best_x is None or bool(
+            np.array_equal(self.best_x, other.best_x)
+        )
+
+    __hash__ = None  # mutable, array-carrying: not hashable
+
+    def __getattr__(self, name):
+        # Fall through to the typed payload for solver-specific fields
+        # (trace, final_lambdas, feasible_ratio, ...).  Dunder lookups must
+        # fail fast or pickling/copying would recurse through `detail`.
+        if name.startswith("__"):
+            raise AttributeError(name)
+        detail = self.__dict__.get("detail")
+        if detail is None:
+            raise AttributeError(
+                f"{type(self).__name__} has no attribute {name!r} "
+                f"(and no detail payload to delegate to)"
+            )
+        try:
+            return getattr(detail, name)
+        except AttributeError:
+            raise AttributeError(
+                f"{type(self).__name__} has no attribute {name!r} "
+                f"(not on the {type(detail).__name__} detail either)"
+            ) from None
+
+
+def coerce_report(
+    value,
+    *,
+    method: str,
+    backend: str | None,
+    problem_name: str = "",
+) -> SolveReport:
+    """Wrap an arbitrary solver result into a :class:`SolveReport`.
+
+    Used by the front door for custom-registered runners that predate the
+    schema (and as the single place encoding how legacy result shapes map
+    onto the canonical fields).  Recognized conventions, in order:
+
+    - an existing :class:`SolveReport` passes through unchanged;
+    - ``best_x``/``best_cost`` (+ optional ``found_feasible``) — the
+      SAIM/penalty shape;
+    - ``best_x``/``best_profit`` — the GA shape;
+    - ``x``/``profit`` — the exact-solver shape (MILP, branch & bound).
+
+    Anything else becomes an infeasible report carrying the value as its
+    ``detail`` payload.
+    """
+    if isinstance(value, SolveReport):
+        return value
+    best_x = getattr(value, "best_x", None)
+    if best_x is None and hasattr(value, "x"):
+        best_x = value.x
+    if getattr(value, "best_cost", None) is not None:
+        best_cost = float(value.best_cost)
+    elif getattr(value, "best_profit", None) is not None:
+        best_cost = -float(value.best_profit)
+    elif getattr(value, "profit", None) is not None:
+        best_cost = -float(value.profit)
+    else:
+        best_cost = float("nan")
+    feasible = bool(getattr(value, "found_feasible", best_x is not None))
+    num_iterations = 1
+    for attr in ("num_iterations", "num_runs", "generations", "nodes_explored"):
+        if hasattr(value, attr):
+            num_iterations = int(getattr(value, attr))
+            break
+    return SolveReport(
+        method=method,
+        backend=backend,
+        best_x=best_x,
+        best_cost=best_cost,
+        feasible=feasible,
+        num_iterations=num_iterations,
+        detail=value,
+        problem_name=problem_name,
+        num_replicas=int(getattr(value, "num_replicas", 1) or 1),
+        total_mcs=int(getattr(value, "total_mcs", 0) or 0),
+    )

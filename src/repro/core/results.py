@@ -1,10 +1,26 @@
-"""Result containers shared by SAIM and the baselines."""
+"""Result containers shared by SAIM and the baselines.
+
+The registry-wide schema every front-door method returns lives in
+:mod:`repro.core.report` (:class:`~repro.core.report.SolveReport`); this
+module holds the building blocks SAIM-family results are made of, and
+re-exports the schema so ``repro.core.results`` stays the one-stop result
+namespace.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
+
+from repro.core.report import SolveReport, coerce_report
+
+__all__ = [
+    "FeasibleRecord",
+    "SolveTrace",
+    "SolveReport",
+    "coerce_report",
+]
 
 
 @dataclass(frozen=True)

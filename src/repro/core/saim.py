@@ -16,7 +16,7 @@ multipliers' job (Fig. 1d).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 

@@ -15,7 +15,7 @@ store dense symmetric matrices with zero diagonal (any diagonal supplied for
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

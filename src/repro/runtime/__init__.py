@@ -1,4 +1,5 @@
-"""Runtime layer: sharded batch execution of front-door solve jobs."""
+"""Runtime layer: sharded batch execution and stateful warm-start sessions
+over the front door."""
 
 from repro.runtime.executor import (
     JobOutcome,
@@ -9,6 +10,7 @@ from repro.runtime.executor import (
     iter_solve_many,
     solve_many,
 )
+from repro.runtime.session import SolverSession, problem_fingerprint
 
 __all__ = [
     "SolveJob",
@@ -16,6 +18,8 @@ __all__ = [
     "SolveJobError",
     "SolveManyReport",
     "SolveManyStats",
+    "SolverSession",
     "iter_solve_many",
+    "problem_fingerprint",
     "solve_many",
 ]

@@ -9,7 +9,8 @@ module turns the pure front door into a batch service entry point:
   accepts, as picklable data (backends by registry *name*, seeds as ints).
 - :func:`iter_solve_many` fans a list of jobs across a
   ``ProcessPoolExecutor`` and yields :class:`JobOutcome` objects *as they
-  complete*, so callers can stream results.
+  complete* (each carrying a :class:`repro.core.report.SolveReport`), so
+  callers can stream results.
 - :func:`solve_many` consumes the stream, restores job order, and aggregates
   wall-time/quality statistics into a :class:`SolveManyReport`.
 
@@ -59,21 +60,25 @@ import numpy as np
 class SolveJob:
     """One declarative :func:`repro.solve` call.
 
-    Attributes mirror the front door's signature; ``config_overrides`` are
-    the keyword overrides (``num_iterations=...`` etc.) merged onto
+    Attributes mirror the front door's signature; ``method`` names any
+    registered method (SAIM or a classical baseline) with
+    ``method_options`` its method-specific settings, ``config_overrides``
+    are the keyword overrides (``num_iterations=...`` etc.) merged onto
     ``config``, and ``tag`` is a free-form label carried into reports and
-    error messages.
+    error messages.  ``backend=None`` selects the method's default
+    backend (backend-free methods require it to stay ``None``).
     """
 
     problem: object
     method: str = "saim"
-    backend: str = "pbit"
+    backend: str | None = None
     config: object = None
     num_replicas: int = 1
     aggregate: str = "best"
     rng: object = None
     initial_lambdas: object = None
     backend_options: dict | None = None
+    method_options: dict | None = None
     config_overrides: dict = field(default_factory=dict)
     tag: str = ""
 
@@ -82,8 +87,9 @@ class SolveJob:
         if self.tag:
             return self.tag
         name = getattr(self.problem, "name", "") or "problem"
+        backend = self.backend if self.backend is not None else "-"
         return (f"job[{index}] {name} method={self.method} "
-                f"backend={self.backend} R={self.num_replicas} rng={self.rng}")
+                f"backend={backend} R={self.num_replicas} rng={self.rng}")
 
 
 @dataclass
@@ -181,6 +187,7 @@ def _execute_job(index: int, job: SolveJob) -> JobOutcome:
             rng=job.rng,
             initial_lambdas=job.initial_lambdas,
             backend_options=job.backend_options,
+            method_options=job.method_options,
             **(job.config_overrides or {}),
         )
         error = None

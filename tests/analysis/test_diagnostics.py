@@ -10,7 +10,7 @@ from repro.analysis.diagnostics import (
     flip_rate_profile,
     integrated_autocorrelation_time,
 )
-from repro.core.schedule import constant_beta_schedule, linear_beta_schedule
+from repro.core.schedule import linear_beta_schedule
 from repro.ising.pbit import PBitMachine
 from tests.helpers import random_ising
 

@@ -234,8 +234,84 @@ class TestBackendSweep:
             rng=0, **self.FAST,
         )
         (point,) = ParameterSweep.run(sweep)
-        assert point.params == {"backend": "pbit", "replicas": 1}
+        assert point.params == {"method": "saim", "backend": "pbit",
+                                "replicas": 1}
         assert point.metrics["best_cost"] == pytest.approx(-8.0)
+
+
+class TestMethodAxis:
+    """The method × backend × replicas grid (backend-free methods collapse
+    to one row each)."""
+
+    FAST = dict(num_iterations=8, mcs_per_run=50, eta=5.0,
+                eta_decay="sqrt", normalize_step=True)
+
+    def instance(self):
+        from repro.problems.generators import generate_mkp
+
+        return generate_mkp(12, 2, rng=3)
+
+    def test_backend_free_methods_collapse(self):
+        sweep = BackendSweep(
+            self.instance(), backends=["pbit", "metropolis"],
+            replicas=[1, 2], methods=["saim", "greedy", "milp"],
+            rng=0, **self.FAST,
+        )
+        points = sweep.grid_points()
+        saim = [p for p in points if p["method"] == "saim"]
+        assert len(saim) == 4  # 2 backends x 2 replicas
+        for method in ("greedy", "milp"):
+            rows = [p for p in points if p["method"] == method]
+            assert rows == [{"method": method, "backend": "-", "replicas": 1}]
+
+    def test_jobs_strip_annealing_knobs_for_baselines(self):
+        sweep = BackendSweep(
+            self.instance(), backends=["pbit"], replicas=[2],
+            methods=["saim", "greedy"], rng=0,
+            method_options={"greedy": {"improve": False}}, **self.FAST,
+        )
+        saim_job, greedy_job = sweep.jobs()
+        assert saim_job.backend == "pbit" and saim_job.num_replicas == 2
+        assert saim_job.config_overrides == self.FAST
+        assert greedy_job.backend is None
+        assert greedy_job.num_replicas == 1
+        assert greedy_job.config is None
+        assert greedy_job.config_overrides == {}
+        assert greedy_job.method_options == {"improve": False}
+
+    def test_method_comparison_table(self):
+        from repro.analysis.sweep import sweep_backends
+
+        report = sweep_backends(
+            self.instance(), backends=["pbit"], replicas=[1],
+            methods=["saim", "greedy", "milp"], rng=0,
+            title="method comparison", **self.FAST,
+        )
+        assert len(report.points) == 3
+        for token in ("method", "greedy", "milp", "saim", "best_cost"):
+            assert token in report.table
+        exact = next(p for p in report.points if p.params["method"] == "milp")
+        greedy = next(p for p in report.points
+                      if p.params["method"] == "greedy")
+        assert greedy.metrics["best_cost"] >= exact.metrics["best_cost"] - 1e-9
+        # The exact row must win (or tie) the table.
+        best = report.best()
+        assert best.metrics["best_cost"] == pytest.approx(
+            exact.metrics["best_cost"]
+        )
+
+    def test_rejects_options_for_unknown_method(self):
+        with pytest.raises(ValueError, match="not in the sweep"):
+            BackendSweep(
+                self.instance(), backends=["pbit"], methods=["saim"],
+                method_options={"ga": {"num_children": 10}},
+            )
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            BackendSweep(
+                self.instance(), backends=["pbit"], methods=["quantum"],
+            )
 
 
 class TestSweepWithSolver:

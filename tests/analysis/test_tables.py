@@ -1,6 +1,5 @@
 """Tests for repro.analysis.tables."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for exact / reference QKP optima (repro.baselines.exact_qkp)."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.exact_qkp import exact_qkp_bruteforce, reference_qkp_optimum

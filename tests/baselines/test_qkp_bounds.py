@@ -11,7 +11,6 @@ from repro.baselines.qkp_bounds import (
     qkp_upper_bound,
 )
 from repro.problems.generators import generate_qkp
-from tests.helpers import all_binary_vectors
 
 
 class TestOptimisticProfits:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.encoding import encode_with_slacks, normalize_problem
+from repro.core.encoding import encode_with_slacks
 from repro.core.lagrangian import LagrangianIsing
 from repro.core.penalty import build_penalty_qubo
 from repro.ising.exhaustive import brute_force_ground_state

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.saim import SaimConfig, SelfAdaptiveIsingMachine
-from repro.ising.pbit import AnnealResult, PBitMachine
+from repro.ising.pbit import PBitMachine
 from repro.ising.quantization import QuantizedPBitMachine
 from repro.ising.sa import MetropolisMachine
 from repro.problems.generators import generate_qkp

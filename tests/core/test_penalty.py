@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.encoding import encode_with_slacks, normalize_problem
+from repro.core.encoding import encode_with_slacks
 from repro.core.penalty import (
     build_penalty_qubo,
     density_heuristic_penalty,

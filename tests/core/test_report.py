@@ -1,0 +1,208 @@
+"""Tests for the canonical result schema (repro.core.report)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.report import SolveReport, coerce_report
+
+
+def make_report(**overrides):
+    fields = dict(
+        method="saim",
+        backend="pbit",
+        best_x=np.array([1, 0, 1], dtype=np.int8),
+        best_cost=-8.0,
+        feasible=True,
+        num_iterations=15,
+        wall_seconds=0.25,
+        detail=None,
+        problem_name="tiny",
+        num_replicas=1,
+        total_mcs=1500,
+    )
+    fields.update(overrides)
+    return SolveReport(**fields)
+
+
+class TestEquality:
+    def test_identical_reports_equal(self):
+        assert make_report() == make_report()
+
+    def test_wall_seconds_ignored(self):
+        """Two identical solves must compare equal however long each took."""
+        assert make_report(wall_seconds=0.1) == make_report(wall_seconds=9.9)
+
+    def test_detail_ignored(self):
+        assert make_report(detail="a") == make_report(detail="b")
+
+    def test_canonical_field_differences_detected(self):
+        base = make_report()
+        assert base != make_report(method="penalty")
+        assert base != make_report(backend=None)
+        assert base != make_report(best_cost=-7.0)
+        assert base != make_report(feasible=False)
+        assert base != make_report(num_iterations=14)
+        assert base != make_report(num_replicas=2)
+        assert base != make_report(total_mcs=0)
+        assert base != make_report(problem_name="other")
+
+    def test_best_x_compared_elementwise(self):
+        assert make_report() != make_report(
+            best_x=np.array([0, 1, 1], dtype=np.int8)
+        )
+
+    def test_none_best_x(self):
+        a = make_report(best_x=None, feasible=False, best_cost=float("inf"))
+        b = make_report(best_x=None, feasible=False, best_cost=float("inf"))
+        assert a == b
+        assert a != make_report()
+
+    def test_nan_best_cost_equal(self):
+        a = make_report(best_cost=float("nan"), feasible=False, best_x=None)
+        b = make_report(best_cost=float("nan"), feasible=False, best_x=None)
+        assert a == b
+
+    def test_not_equal_to_other_types(self):
+        assert make_report() != "report"
+        assert (make_report() == 42) is False
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(make_report())
+
+
+class TestDelegation:
+    class Payload:
+        final_lambdas = np.array([1.0, 2.0])
+        feasible_ratio = 0.5
+
+    def test_missing_attributes_fall_through_to_detail(self):
+        report = make_report(detail=self.Payload())
+        np.testing.assert_array_equal(
+            report.final_lambdas, np.array([1.0, 2.0])
+        )
+        assert report.feasible_ratio == 0.5
+
+    def test_canonical_fields_shadow_detail(self):
+        payload = self.Payload()
+        payload.best_cost = 123.0
+        report = make_report(detail=payload)
+        assert report.best_cost == -8.0
+
+    def test_missing_everywhere_raises_attribute_error(self):
+        report = make_report(detail=self.Payload())
+        with pytest.raises(AttributeError, match="no attribute 'nonsense'"):
+            report.nonsense
+
+    def test_no_detail_raises_attribute_error(self):
+        report = make_report(detail=None)
+        with pytest.raises(AttributeError, match="no detail payload"):
+            report.final_lambdas
+
+    def test_found_feasible_alias(self):
+        assert make_report().found_feasible
+        assert not make_report(feasible=False).found_feasible
+
+    def test_best_profit(self):
+        assert make_report().best_profit == 8.0
+        assert np.isnan(make_report(feasible=False).best_profit)
+
+
+class TestPickle:
+    def test_round_trip(self):
+        report = make_report()
+        clone = pickle.loads(pickle.dumps(report))
+        assert clone == report
+        assert clone.wall_seconds == report.wall_seconds
+        np.testing.assert_array_equal(clone.best_x, report.best_x)
+
+    def test_round_trip_with_none_fields(self):
+        report = make_report(best_x=None, detail=None, backend=None,
+                             feasible=False)
+        clone = pickle.loads(pickle.dumps(report))
+        assert clone == report
+
+
+class TestSummary:
+    def test_feasible_summary(self):
+        text = make_report().summary()
+        assert "saim[pbit]" in text
+        assert "tiny" in text
+        assert "-8" in text
+
+    def test_infeasible_summary(self):
+        text = make_report(
+            feasible=False, best_x=None, best_cost=float("inf")
+        ).summary()
+        assert "no feasible sample" in text
+
+    def test_backend_free_summary(self):
+        assert "greedy[-]" in make_report(
+            method="greedy", backend=None
+        ).summary()
+
+
+class TestCoercion:
+    def test_solve_report_passes_through(self):
+        report = make_report()
+        assert coerce_report(report, method="x", backend=None) is report
+
+    def test_saim_shape(self):
+        class Legacy:
+            best_x = np.array([1, 0])
+            best_cost = -3.0
+            found_feasible = True
+            num_iterations = 12
+            num_replicas = 4
+            total_mcs = 480
+
+        report = coerce_report(Legacy(), method="m", backend="b",
+                               problem_name="p")
+        assert report.best_cost == -3.0
+        assert report.feasible
+        assert report.num_iterations == 12
+        assert report.num_replicas == 4
+        assert report.total_mcs == 480
+        assert report.problem_name == "p"
+        assert isinstance(report.detail, Legacy)
+
+    def test_ga_shape(self):
+        class GaLike:
+            best_x = np.array([1])
+            best_profit = 7.0
+            generations = 99
+
+        report = coerce_report(GaLike(), method="ga", backend=None)
+        assert report.best_cost == -7.0
+        assert report.num_iterations == 99
+
+    def test_exact_shape(self):
+        class MilpLike:
+            x = np.array([1, 1])
+            profit = 11.0
+
+        report = coerce_report(MilpLike(), method="milp", backend=None)
+        assert report.best_cost == -11.0
+        np.testing.assert_array_equal(report.best_x, np.array([1, 1]))
+        assert report.feasible
+
+    def test_none_best_cost_becomes_nan(self):
+        """A legacy infeasible result with best_cost=None must coerce, not
+        crash on float(None)."""
+
+        class LegacyInfeasible:
+            best_x = None
+            best_cost = None
+            found_feasible = False
+
+        report = coerce_report(LegacyInfeasible(), method="m", backend=None)
+        assert np.isnan(report.best_cost)
+        assert not report.feasible
+
+    def test_opaque_value_becomes_infeasible_detail(self):
+        report = coerce_report("sentinel", method="m", backend=None)
+        assert report.detail == "sentinel"
+        assert not report.feasible
+        assert report.best_x is None

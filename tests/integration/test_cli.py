@@ -119,9 +119,9 @@ class TestSolve:
                      "--mcs", "100"])
         out = capsys.readouterr().out
         assert code == 0
-        assert "Backend sweep" in out
-        for token in ("backend", "replicas", "best_cost", "feasible_pct",
-                      "metropolis", "best:"):
+        assert "Solver sweep" in out
+        for token in ("method", "backend", "replicas", "best_cost",
+                      "feasible_pct", "metropolis", "best:"):
             assert token in out
 
     def test_sweep_with_workers(self, qkp_file, capsys):
@@ -129,7 +129,20 @@ class TestSolve:
                      "--replicas", "1,2", "--workers", "2",
                      "--iterations", "20", "--mcs", "80"])
         assert code == 0
-        assert "Backend sweep" in capsys.readouterr().out
+        assert "Solver sweep" in capsys.readouterr().out
+
+    def test_sweep_methods_comparison_table(self, mkp_file, capsys):
+        """Acceptance: one table comparing SAIM against the baselines."""
+        code = main(["sweep", str(mkp_file), "--methods", "saim,greedy,milp",
+                     "--iterations", "25", "--mcs", "80"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for token in ("saim", "greedy", "milp", "best:"):
+            assert token in out
+
+    def test_sweep_rejects_unknown_method(self, qkp_file):
+        with pytest.raises(SystemExit, match="unknown method"):
+            main(["sweep", str(qkp_file), "--methods", "saim,quantum"])
 
     def test_sweep_rejects_unknown_backend(self, qkp_file):
         with pytest.raises(SystemExit, match="unknown backend"):
@@ -142,6 +155,61 @@ class TestSolve:
     def test_sweep_rejects_malformed_replicas(self, qkp_file):
         with pytest.raises(SystemExit, match="malformed"):
             main(["sweep", str(qkp_file), "--replicas", "1,two"])
+
+    def test_info_lists_registries(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        for token in ("methods", "backends", "saim", "greedy", "milp",
+                      "pbit", "backend-free"):
+            assert token in out
+
+    def test_solve_method_greedy(self, qkp_file, capsys):
+        assert main(["solve", str(qkp_file), "--method", "greedy"]) == 0
+        out = capsys.readouterr().out
+        assert "greedy[-]" in out
+        assert "best profit" in out
+
+    def test_solve_method_exhaustive(self, qkp_file, capsys):
+        assert main(["solve", str(qkp_file), "--method", "exhaustive"]) == 0
+        assert "exhaustive[-]" in capsys.readouterr().out
+
+    def test_solve_method_milp_mkp(self, mkp_file, capsys):
+        assert main(["solve", str(mkp_file), "--method", "milp"]) == 0
+        assert "milp[-]" in capsys.readouterr().out
+
+    def test_solve_method_saim_with_backend(self, qkp_file, capsys):
+        code = main(["solve", str(qkp_file), "--method", "saim",
+                     "--backend", "metropolis", "--replicas", "2",
+                     "--iterations", "30", "--mcs", "100"])
+        assert code in (0, 1)
+        assert "saim[metropolis]" in capsys.readouterr().out
+
+    def test_method_and_solver_mutually_exclusive(self, qkp_file):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["solve", str(qkp_file), "--method", "greedy",
+                  "--solver", "saim"])
+
+    def test_unknown_method_rejected(self, qkp_file):
+        with pytest.raises(SystemExit, match="unknown method"):
+            main(["solve", str(qkp_file), "--method", "quantum"])
+
+    def test_backend_free_method_rejects_backend_flags(self, qkp_file):
+        with pytest.raises(SystemExit, match="backend-free"):
+            main(["solve", str(qkp_file), "--method", "greedy",
+                  "--backend", "pbit"])
+        with pytest.raises(SystemExit, match="backend-free"):
+            main(["solve", str(qkp_file), "--method", "greedy",
+                  "--replicas", "2"])
+
+    def test_backend_free_method_rejects_budget_flags(self, qkp_file):
+        """--iterations/--mcs must not be silently dropped for methods
+        that have no annealing budget."""
+        with pytest.raises(SystemExit, match="--iterations does not apply"):
+            main(["solve", str(qkp_file), "--method", "greedy",
+                  "--iterations", "500"])
+        with pytest.raises(SystemExit, match="--mcs does not apply"):
+            main(["solve", str(qkp_file), "--method", "milp",
+                  "--mcs", "200"])
 
     def test_solve_saim_mkp(self, mkp_file, capsys):
         code = main(["solve", str(mkp_file), "--solver", "saim",

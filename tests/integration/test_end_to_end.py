@@ -1,6 +1,5 @@
 """End-to-end integration: public API flows a user would actually run."""
 
-import numpy as np
 import pytest
 
 import repro
@@ -19,7 +18,7 @@ from repro.baselines.milp import solve_mkp_exact
 
 class TestPublicApi:
     def test_version(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "2.0.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:

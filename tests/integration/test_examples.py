@@ -1,7 +1,6 @@
 """Smoke tests: every shipped example runs end-to-end and prints results."""
 
 import importlib.util
-import sys
 from pathlib import Path
 
 import pytest

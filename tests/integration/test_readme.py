@@ -3,7 +3,6 @@
 import re
 from pathlib import Path
 
-import numpy as np
 
 README = Path(__file__).parents[2] / "README.md"
 
@@ -17,9 +16,10 @@ class TestReadme:
         # Execute verbatim in a fresh namespace.
         namespace = {}
         exec(compile(snippet, "README.md", "exec"), namespace)
-        result = namespace["result"]
-        assert result.num_iterations > 0
-        assert 0.0 <= result.feasible_ratio <= 1.0
+        report = namespace["report"]
+        assert report.num_iterations > 0
+        assert 0.0 <= report.detail.feasible_ratio <= 1.0
+        assert namespace["exact"].feasible
 
     def test_mentions_all_deliverable_paths(self):
         text = README.read_text()

@@ -1,7 +1,6 @@
 """Statistical equivalence checks between p-bit execution paths."""
 
 import numpy as np
-import pytest
 
 from repro.core.schedule import constant_beta_schedule, linear_beta_schedule
 from repro.ising.pbit import PBitMachine

@@ -1,7 +1,6 @@
 """Tests for GAP serialization (repro.problems.io)."""
 
 import numpy as np
-import pytest
 
 from repro.problems.gap import generate_gap
 from repro.problems.io import read_gap, write_gap

@@ -8,7 +8,6 @@ from repro.core.encoding import encode_with_slacks, normalize_problem
 from repro.core.lagrangian import LagrangianIsing
 from repro.core.penalty import build_penalty_qubo
 from repro.core.problem import ConstrainedProblem, LinearConstraints
-from repro.utils.binary import binary_weights
 
 seeds = st.integers(min_value=0, max_value=10**6)
 

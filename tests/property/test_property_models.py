@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.ising.energy import input_fields, ising_energy
-from repro.ising.model import IsingModel, QuboModel
+from repro.ising.model import IsingModel
 from tests.helpers import random_ising, random_qubo
 
 sizes = st.integers(min_value=1, max_value=10)

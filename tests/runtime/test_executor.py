@@ -1,5 +1,7 @@
 """Tests for the sharded solve_many executor (repro.runtime.executor)."""
 
+import pickle
+
 import numpy as np
 import pytest
 
@@ -166,6 +168,94 @@ class TestProcessPool:
         assert "pickle" in failed.error.lower()
         with pytest.raises(SolveJobError, match="unpicklable"):
             solve_many([*fast_jobs((0,)), bad], max_workers=2)
+
+
+class TestJobPickling:
+    """Jobs must survive the process boundary with every field intact."""
+
+    def test_round_trip_with_method_and_options(self):
+        job = SolveJob(
+            problem=tiny_knapsack_problem(),
+            method="ga",
+            method_options={"population_size": 12, "num_children": 300},
+            rng=4,
+            tag="pickled-ga",
+        )
+        clone = pickle.loads(pickle.dumps(job))
+        assert clone.method == "ga"
+        assert clone.method_options == {"population_size": 12,
+                                        "num_children": 300}
+        assert clone.backend is None
+        assert clone.rng == 4
+        assert clone.tag == "pickled-ga"
+
+    def test_round_trip_full_annealing_job(self):
+        job = SolveJob(
+            problem=tiny_knapsack_problem(),
+            method="saim",
+            backend="quantized",
+            config=FAST,
+            num_replicas=3,
+            aggregate="mean",
+            rng=7,
+            backend_options={"bits": 10},
+            config_overrides={"num_iterations": 5},
+        )
+        clone = pickle.loads(pickle.dumps(job))
+        assert clone.backend == "quantized"
+        assert clone.num_replicas == 3
+        assert clone.aggregate == "mean"
+        assert clone.backend_options == {"bits": 10}
+        assert clone.config_overrides == {"num_iterations": 5}
+        assert clone.config == FAST
+
+    def test_pickled_job_executes_identically(self):
+        from repro.runtime.executor import _execute_job
+
+        job = SolveJob(problem=tiny_knapsack_problem(), config=FAST, rng=0)
+        clone = pickle.loads(pickle.dumps(job))
+        assert _execute_job(0, job).result == _execute_job(0, clone).result
+
+
+class TestMethodJobs:
+    """Baseline methods flow through the same executor pipe."""
+
+    def test_mixed_method_batch(self):
+        from repro.problems.generators import generate_mkp
+
+        instance = generate_mkp(12, 2, rng=3)
+        jobs = [
+            SolveJob(problem=instance, method="saim", config=FAST, rng=0),
+            SolveJob(problem=instance, method="greedy"),
+            SolveJob(problem=instance, method="milp"),
+            SolveJob(problem=instance, method="ga", rng=0,
+                     method_options={"population_size": 10,
+                                     "num_children": 100}),
+        ]
+        report = solve_many(jobs, max_workers=1)
+        assert report.stats.num_ok == 4
+        methods = [outcome.result.method for outcome in report.outcomes]
+        assert methods == ["saim", "greedy", "milp", "ga"]
+        exact = report.outcomes[2].result.best_cost
+        assert report.stats.best_cost == pytest.approx(exact)
+
+    def test_reports_equal_serial_solves(self):
+        """Acceptance: max_workers=1 report == the direct solve, under
+        SolveReport equality (which ignores wall time)."""
+        import repro
+
+        jobs = fast_jobs((0, 1, 2))
+        report = solve_many(jobs, max_workers=1)
+        for job, result in zip(jobs, report.results):
+            direct = repro.solve(job.problem, config=FAST, rng=job.rng)
+            assert result == direct
+
+    def test_sharded_reports_equal_serial_reports(self):
+        jobs = fast_jobs((0, 1, 2, 3))
+        serial = solve_many(jobs, max_workers=1)
+        sharded = solve_many(jobs, max_workers=2)
+        for a, b in zip(serial.results, sharded.results):
+            assert a == b
 
 
 class TestExports:

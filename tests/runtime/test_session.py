@@ -1,0 +1,172 @@
+"""Tests for the warm-start solver session (repro.runtime.session)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.report import SolveReport
+from repro.problems.generators import generate_mkp, generate_qkp
+from repro.problems.qkp import QkpInstance
+from repro.runtime.session import SolverSession, problem_fingerprint
+
+FAST = dict(num_iterations=12, mcs_per_run=60, eta=5.0,
+            eta_decay="sqrt", normalize_step=True)
+
+
+def perturbed_qkp(instance: QkpInstance, rng, value_jitter=0.05,
+                  capacity_factor=0.97) -> QkpInstance:
+    """A slightly different instance of the same family/shape."""
+    r = np.random.default_rng(rng)
+    values = np.maximum(
+        0.0,
+        instance.values
+        * (1.0 + value_jitter * r.uniform(-1, 1, instance.values.shape)),
+    )
+    return QkpInstance(
+        values=values,
+        pair_values=instance.pair_values,
+        weights=instance.weights,
+        capacity=instance.capacity * capacity_factor,
+        name=f"{instance.name}-perturbed",
+    )
+
+
+class TestFingerprint:
+    def test_same_shape_same_fingerprint(self):
+        instance = generate_qkp(20, 0.5, rng=1)
+        assert problem_fingerprint(instance) == problem_fingerprint(
+            perturbed_qkp(instance, rng=2)
+        )
+
+    def test_different_size_differs(self):
+        a = generate_qkp(20, 0.5, rng=1)
+        b = generate_qkp(21, 0.5, rng=1)
+        assert problem_fingerprint(a) != problem_fingerprint(b)
+
+    def test_different_family_differs(self):
+        qkp = generate_qkp(20, 0.5, rng=1)
+        mkp = generate_mkp(20, 1, rng=1)
+        assert problem_fingerprint(qkp) != problem_fingerprint(mkp)
+
+    def test_constraint_count_in_fingerprint(self):
+        a = generate_mkp(15, 2, rng=1)
+        b = generate_mkp(15, 3, rng=1)
+        assert problem_fingerprint(a) != problem_fingerprint(b)
+
+
+class TestSessionBasics:
+    def test_resolve_returns_report_and_caches(self):
+        session = SolverSession(rng=0, **FAST)
+        instance = generate_qkp(14, 0.5, rng=3)
+        report = session.resolve(instance)
+        assert isinstance(report, SolveReport)
+        assert session.num_solves == 1
+        assert session.num_warm_starts == 0
+        assert session.num_cached == 1
+        cached = session.cached_lambdas(instance)
+        np.testing.assert_array_equal(cached, report.detail.final_lambdas)
+
+    def test_first_resolve_is_cold_and_matches_front_door(self):
+        session = SolverSession(rng=0, **FAST)
+        instance = generate_qkp(14, 0.5, rng=3)
+        via_session = session.resolve(instance)
+        direct = repro.solve(instance, rng=0, **FAST)
+        assert via_session == direct  # SolveReport equality ignores wall time
+
+    def test_second_resolve_warm_starts(self):
+        session = SolverSession(rng=0, **FAST)
+        instance = generate_qkp(14, 0.5, rng=3)
+        session.resolve(instance)
+        session.resolve(perturbed_qkp(instance, rng=5))
+        assert session.num_warm_starts == 1
+
+    def test_reset_forgets_multipliers(self):
+        session = SolverSession(rng=0, **FAST)
+        instance = generate_qkp(14, 0.5, rng=3)
+        session.resolve(instance)
+        session.reset()
+        assert session.num_cached == 0
+        assert session.cached_lambdas(instance) is None
+        session.resolve(instance)
+        assert session.num_warm_starts == 0
+
+    def test_warm_start_false_stays_cold(self):
+        session = SolverSession(rng=0, warm_start=False, **FAST)
+        instance = generate_qkp(14, 0.5, rng=3)
+        session.resolve(instance)
+        warm = session.resolve(instance)
+        assert session.num_warm_starts == 0
+        cold = repro.solve(instance, rng=0, **FAST)
+        assert warm == cold
+
+    def test_unknown_method_rejected_up_front(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            SolverSession(method="quantum")
+
+    def test_baseline_method_session_never_warm_starts(self):
+        session = SolverSession(method="greedy")
+        instance = generate_qkp(14, 0.5, rng=3)
+        first = session.resolve(instance)
+        second = session.resolve(instance)
+        assert first == second
+        assert not session.warm_start
+        assert session.num_warm_starts == 0
+        assert session.num_cached == 0  # greedy exposes no multipliers
+
+    def test_per_call_rng_and_overrides(self):
+        session = SolverSession(rng=0, **FAST)
+        instance = generate_qkp(14, 0.5, rng=3)
+        report = session.resolve(instance, rng=9, num_iterations=7)
+        assert report.num_iterations == 7
+        direct = repro.solve(
+            instance, rng=9, **{**FAST, "num_iterations": 7}
+        )
+        assert report == direct
+
+    def test_failed_resolve_does_not_skew_counters(self):
+        session = SolverSession(rng=0, **FAST)
+        instance = generate_qkp(14, 0.5, rng=3)
+        session.resolve(instance)
+        with pytest.raises(ValueError):
+            session.resolve(instance, num_itertions=5)  # typo'd override
+        assert session.num_solves == 1
+        assert session.num_warm_starts == 0
+
+    def test_repr_mentions_counts(self):
+        session = SolverSession(rng=0, **FAST)
+        session.resolve(generate_qkp(10, 0.5, rng=1))
+        text = repr(session)
+        assert "solves=1" in text and "cached=1" in text
+
+
+class TestWarmStartRegression:
+    """Acceptance: a warm resolve of a perturbed instance reaches its first
+    feasible sample in no more iterations than a cold solve (seeded)."""
+
+    CONFIG = dict(num_iterations=40, mcs_per_run=150, eta=20.0)
+
+    @pytest.mark.parametrize("instance_seed", [1, 2])
+    def test_warm_first_feasible_no_later_than_cold(self, instance_seed):
+        instance = generate_qkp(30, 0.5, rng=instance_seed)
+        perturbed = perturbed_qkp(instance, rng=100 + instance_seed)
+
+        session = SolverSession(rng=7, **self.CONFIG)
+        session.resolve(instance)
+        warm = session.resolve(perturbed)
+        cold = repro.solve(perturbed, rng=7, **self.CONFIG)
+
+        warm_first = warm.detail.trace.first_feasible_iteration()
+        cold_first = cold.detail.trace.first_feasible_iteration()
+        assert warm_first is not None
+        if cold_first is not None:
+            assert warm_first <= cold_first
+
+    def test_warm_solution_no_worse(self):
+        instance = generate_qkp(30, 0.5, rng=2)
+        perturbed = perturbed_qkp(instance, rng=102)
+        session = SolverSession(rng=7, **self.CONFIG)
+        session.resolve(instance)
+        warm = session.resolve(perturbed)
+        cold = repro.solve(perturbed, rng=7, **self.CONFIG)
+        assert warm.feasible
+        assert warm.best_cost <= cold.best_cost + 1e-9
