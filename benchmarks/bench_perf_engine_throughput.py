@@ -29,10 +29,8 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent))
 from _common import OUTPUT_DIR  # noqa: E402
 
-from repro.core.encoding import encode_with_slacks, normalize_problem  # noqa: E402
 from repro.core.engine import SaimEngine  # noqa: E402
-from repro.core.lagrangian import LagrangianIsing  # noqa: E402
-from repro.core.penalty import density_heuristic_penalty  # noqa: E402
+from repro.core.lagrangian import saim_lagrangian  # noqa: E402
 from repro.core.saim import SaimConfig  # noqa: E402
 from repro.core.schedule import linear_beta_schedule  # noqa: E402
 from repro.ising.pbit import PBitMachine  # noqa: E402
@@ -55,11 +53,7 @@ def _scale_name() -> str:
 
 def _build_workload(num_items: int):
     instance = generate_qkp(num_items, 0.5, rng=11)
-    encoded = encode_with_slacks(instance.to_problem())
-    normalized, _ = normalize_problem(encoded.problem)
-    penalty = density_heuristic_penalty(normalized, alpha=2.0)
-    lagrangian = LagrangianIsing(normalized, penalty)
-    return instance, lagrangian.base_ising
+    return instance, saim_lagrangian(instance.to_problem()).base_ising
 
 
 def _time(func) -> float:

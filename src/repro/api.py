@@ -42,6 +42,12 @@ Usage::
         backend_options={"bits": 10}, num_iterations=40, rng=7,
     )
 
+    # the big-R fast path: float32 coefficient storage + scan
+    report = repro.solve(
+        instance, num_replicas=128,
+        backend_options={"dtype": "float32"}, num_iterations=40, rng=7,
+    )
+
     # the same schema from a classical baseline
     report = repro.solve(instance, method="greedy")
     print(report.best_cost, report.detail.best_profit)
@@ -340,36 +346,72 @@ def solve(
 
 # --------------------------------------------------------------------------
 # Default backend builders.
+#
+# Every registered factory has the uniform signature
+# ``factory(model, rng=None, dtype=None)``: ``dtype`` is the machine's
+# coefficient storage / scan precision ("float64" / "float32"), settable
+# either at build time (``backend_options={"dtype": "float32"}``) or per
+# solve (``SaimConfig(dtype=...)``, which the engine forwards here).  A
+# ``dtype`` passed by the engine overrides the builder-time default.
 
-def _pbit_builder():
+def _resolve_builder_dtype(default: str | None):
+    from repro.ising.backend import resolve_dtype
+
+    resolve_dtype(default)  # validate the builder-time spelling up front
+    return default
+
+
+def _pbit_builder(dtype: str | None = None):
     from repro.ising.pbit import PBitMachine
 
-    return PBitMachine
+    default = _resolve_builder_dtype(dtype)
 
-
-def _metropolis_builder():
-    from repro.ising.sa import MetropolisMachine
-
-    return MetropolisMachine
-
-
-def _quantized_builder(bits: int = 8):
-    from repro.ising.quantization import QuantizedPBitMachine
-
-    def factory(model, rng=None):
-        return QuantizedPBitMachine(model, bits=bits, rng=rng)
+    def factory(model, rng=None, dtype=None):
+        return PBitMachine(model, rng=rng, dtype=dtype or default)
 
     return factory
 
 
-def _chromatic_builder():
+def _metropolis_builder(dtype: str | None = None):
+    from repro.ising.sa import MetropolisMachine
+
+    default = _resolve_builder_dtype(dtype)
+
+    def factory(model, rng=None, dtype=None):
+        return MetropolisMachine(model, rng=rng, dtype=dtype or default)
+
+    return factory
+
+
+def _quantized_builder(bits: int = 8, dtype: str | None = None):
+    from repro.ising.quantization import QuantizedPBitMachine
+
+    default = _resolve_builder_dtype(dtype)
+
+    def factory(model, rng=None, dtype=None):
+        return QuantizedPBitMachine(
+            model, bits=bits, rng=rng, dtype=dtype or default
+        )
+
+    return factory
+
+
+def _chromatic_builder(dtype: str | None = None, storage: str = "csr"):
     from repro.ising.sparse import ChromaticPBitMachine
 
-    return ChromaticPBitMachine.from_dense
+    default = _resolve_builder_dtype(dtype)
+
+    def factory(model, rng=None, dtype=None):
+        return ChromaticPBitMachine.from_dense(
+            model, rng=rng, dtype=dtype or default, storage=storage
+        )
+
+    return factory
 
 
 def _pt_builder(num_chains: int | None = None, beta_min: float = 0.1,
-                read_out: str = "cold", num_replicas: int | None = None):
+                read_out: str = "cold", num_replicas: int | None = None,
+                dtype: str | None = None):
     # `num_chains` is the number of parallel-tempering chains inside ONE
     # machine; the historical builder knob `num_replicas` collided in
     # meaning with the engine-level replica batch (independent annealing
@@ -395,10 +437,12 @@ def _pt_builder(num_chains: int | None = None, beta_min: float = 0.1,
         raise ValueError(f"num_chains must be >= 1, got {num_chains}")
     from repro.ising.pt_machine import PTMachine
 
-    def factory(model, rng=None):
+    default = _resolve_builder_dtype(dtype)
+
+    def factory(model, rng=None, dtype=None):
         return PTMachine(
             model, rng=rng, num_replicas=num_chains,
-            beta_min=beta_min, read_out=read_out,
+            beta_min=beta_min, read_out=read_out, dtype=dtype or default,
         )
 
     return factory
@@ -410,19 +454,34 @@ def _pt_builder(num_chains: int | None = None, beta_min: float = 0.1,
 def _run_saim(problem, *, config, backend, num_replicas, aggregate, rng,
               initial_lambdas, backend_options, method_options, **_):
     from repro.core.engine import SaimEngine
+    from repro.ising.backend import resolve_dtype
 
     if method_options:
         raise ValueError(
             f"the saim method has no method_options (got "
             f"{sorted(method_options)}); its settings live on SaimConfig"
         )
+    # The precision knob has two front-door spellings —
+    # ``backend_options={"dtype": ...}`` and ``SaimConfig(dtype=...)``.
+    # They must agree when both are given explicitly (the config default
+    # ``None`` defers to the backend options); either way a single
+    # resolved dtype reaches the machine factory.
+    options = dict(backend_options or {})
+    option_dtype = options.get("dtype")
+    if (
+        option_dtype is not None
+        and config.dtype is not None
+        and resolve_dtype(option_dtype) != resolve_dtype(config.dtype)
+    ):
+        raise ValueError(
+            f"conflicting dtypes: SaimConfig(dtype={config.dtype!r}) vs "
+            f"backend_options dtype {option_dtype!r}; pass one spelling"
+        )
     engine = SaimEngine(
         config,
         num_replicas=num_replicas,
         aggregate=aggregate,
-        machine_factory=make_backend_factory(
-            backend, **(backend_options or {})
-        ),
+        machine_factory=make_backend_factory(backend, **options),
     )
     result = engine.solve(problem, rng=rng, initial_lambdas=initial_lambdas)
     return SolveReport(
@@ -466,6 +525,11 @@ def _run_penalty(problem, *, config, backend, num_replicas, aggregate, rng,
         raise ValueError(
             f"the penalty method has no method_options (got "
             f"{sorted(method_options)}); its settings live on SaimConfig"
+        )
+    if config.dtype not in (None, "float64"):
+        raise ValueError(
+            "the penalty method runs the float64 reference kernel only "
+            f"(got SaimConfig(dtype={config.dtype!r}))"
         )
     from repro.core.encoding import encode_with_slacks, normalize_problem
     from repro.core.penalty import density_heuristic_penalty, penalty_method_solve
@@ -628,11 +692,12 @@ def _run_exhaustive(problem, *, instance, method_options, **_):
 
 register_backend(
     "pbit", _pbit_builder,
-    description="probabilistic-bit machine of paper Section III-B",
+    description="probabilistic-bit machine of paper Section III-B "
+                "(backend_options={'dtype': 'float32'} for the fast scan)",
 )
 register_backend(
     "metropolis", _metropolis_builder,
-    description="single-flip Metropolis simulated annealing",
+    description="single-flip Metropolis simulated annealing (dtype knob)",
 )
 register_backend(
     "quantized", _quantized_builder,
@@ -640,7 +705,8 @@ register_backend(
 )
 register_backend(
     "chromatic", _chromatic_builder,
-    description="graph-colored sparse p-bit arrays (block-parallel sweeps)",
+    description="graph-colored sparse p-bit arrays (per-color replica-batched "
+                "sweeps; backend_options={'storage': 'dense', 'dtype': ...})",
 )
 register_backend(
     "pt", _pt_builder,

@@ -6,6 +6,7 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro.cli generate-qkp out.qkp --items 50 --density 0.5 --seed 1
     python -m repro.cli solve out.qkp --method saim --iterations 150
     python -m repro.cli solve out.qkp --replicas 8 --backend quantized
+    python -m repro.cli solve out.qkp --replicas 128 --dtype float32
     python -m repro.cli solve out.qkp --method greedy
     python -m repro.cli solve instance.mkp --method milp
     python -m repro.cli sweep out.qkp --methods saim,greedy,bnb \
@@ -83,6 +84,11 @@ def _build_parser() -> argparse.ArgumentParser:
              "defaults to 4 and divides --iterations by the replica "
              "count to keep the total MCS budget matched)",
     )
+    solve.add_argument(
+        "--dtype", choices=("float64", "float32"), default=None,
+        help="machine coefficient precision (float32 = the big-R fast "
+             "scan; annealing methods only, default float64)",
+    )
     solve.add_argument("--iterations", type=int, default=None,
                        help="SAIM iterations / penalty runs (default 150; "
                             "annealing methods only)")
@@ -109,6 +115,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--replicas", default="1",
         help="comma-separated replica counts, e.g. 1,8,32",
+    )
+    sweep.add_argument(
+        "--dtype", choices=("float64", "float32"), default=None,
+        help="machine coefficient precision for every annealing grid point",
     )
     sweep.add_argument(
         "--workers", type=int, default=1,
@@ -198,8 +208,27 @@ def _sweep(args) -> int:
         raise SystemExit("--replicas entries must be >= 1")
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    if args.dtype not in (None, "float64") and "penalty" in methods:
+        # Mirror the solve path: reject up front instead of rendering a
+        # grid of NaN rows (the penalty method runs float64 only).
+        raise SystemExit(
+            "--dtype float32 does not apply to the penalty method "
+            "(float64 reference kernel only); drop it from --methods"
+        )
+    if args.dtype is not None and not any(
+        repro.method_info(method).uses_config for method in methods
+    ):
+        # Backend-free grids would silently drop the flag otherwise.
+        raise SystemExit(
+            "--dtype applies to annealing methods only; none of the "
+            "requested --methods takes it"
+        )
 
     config = _scaled_config(kind, args.iterations, args.mcs)
+    if args.dtype is not None:
+        from dataclasses import replace
+
+        config = replace(config, dtype=args.dtype)
     sweep = repro.BackendSweep(
         instance, backends=backends, replicas=replicas, methods=methods,
         config=config, rng=args.seed,
@@ -266,6 +295,7 @@ def _solve_method(args, instance, kind) -> int:
     else:
         for flag, value in (("--backend", args.backend),
                             ("--replicas", args.replicas),
+                            ("--dtype", args.dtype),
                             ("--iterations", args.iterations),
                             ("--mcs", args.mcs)):
             if value is not None:
@@ -273,13 +303,24 @@ def _solve_method(args, instance, kind) -> int:
                     f"method {method!r} is backend-free; {flag} does not apply"
                 )
     if spec.uses_config:
-        kwargs.update(
-            config=_scaled_config(
-                kind,
-                args.iterations if args.iterations is not None else 150,
-                args.mcs if args.mcs is not None else 400,
-            ),
+        config = _scaled_config(
+            kind,
+            args.iterations if args.iterations is not None else 150,
+            args.mcs if args.mcs is not None else 400,
         )
+        if args.dtype is not None:
+            # Through the config, not backend_options, so float64 stays
+            # valid for every annealing method; mirror _sweep's up-front
+            # rejection of the one known-bad combination.
+            if args.dtype != "float64" and method == "penalty":
+                raise SystemExit(
+                    "--dtype float32 does not apply to the penalty method "
+                    "(float64 reference kernel only)"
+                )
+            from dataclasses import replace
+
+            config = replace(config, dtype=args.dtype)
+        kwargs.update(config=config)
     kwargs.update(rng=args.seed)
 
     report = repro.solve(instance, method=method, **kwargs)
@@ -313,6 +354,12 @@ def _solve(args) -> int:
         args.iterations = 150
     if args.mcs is None:
         args.mcs = 400
+    if args.dtype is not None and args.solver in ("greedy", "exact", "ga",
+                                                  "penalty"):
+        raise SystemExit(
+            f"--dtype selects an annealing-machine precision; "
+            f"--solver {args.solver} does not take it"
+        )
 
     if args.solver == "greedy":
         from repro.baselines.greedy import (
@@ -380,6 +427,8 @@ def _solve(args) -> int:
     from dataclasses import replace
 
     config = _scaled_config(kind, args.iterations, args.mcs)
+    if args.dtype is not None:
+        config = replace(config, dtype=args.dtype)
 
     backend = args.backend or ("pt" if args.solver == "saim-pt" else "pbit")
     if backend not in repro.available_backends():

@@ -28,6 +28,8 @@ only a serial ``anneal`` are adapted automatically via
 
 from __future__ import annotations
 
+import inspect
+
 import numpy as np
 
 from repro.core.encoding import (
@@ -88,6 +90,37 @@ class SaimEngine:
             machine_factory if machine_factory is not None else PBitMachine
         )
 
+    def _build_machine(self, model, rng, dtype: str | None):
+        """Build the backend, threading an explicit ``config.dtype``.
+
+        The default ``None`` keeps the historical two-argument factory
+        contract (the factory's own precision default applies), so user
+        factories without a dtype knob keep working.  An explicit dtype is
+        forwarded so it overrides any builder-time default; a factory
+        whose signature takes no ``dtype`` can still honor an explicit
+        ``"float64"`` (that IS its default) but fails loudly on
+        ``"float32"``.  A TypeError raised *inside* a dtype-aware factory
+        propagates untouched.
+        """
+        if dtype is None:
+            return self.machine_factory(model, rng=rng)
+        try:
+            parameters = inspect.signature(self.machine_factory).parameters
+            accepts_dtype = "dtype" in parameters or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD
+                for p in parameters.values()
+            )
+        except (TypeError, ValueError):  # builtins/extensions: just try it
+            accepts_dtype = True
+        if accepts_dtype:
+            return self.machine_factory(model, rng=rng, dtype=dtype)
+        if dtype == "float64":
+            return self.machine_factory(model, rng=rng)
+        raise ValueError(
+            f"SaimConfig(dtype={dtype!r}) needs a dtype-aware machine "
+            f"factory, but {self.machine_factory!r} takes no dtype keyword"
+        )
+
     def solve(self, problem: ConstrainedProblem, rng=None,
               initial_lambdas=None) -> SaimResult:
         """Run the engine loop on ``problem``; returns the best feasible find.
@@ -112,7 +145,7 @@ class SaimEngine:
         else:
             penalty = density_heuristic_penalty(normalized, alpha=config.alpha)
         lagrangian = LagrangianIsing(normalized, penalty)
-        machine = self.machine_factory(lagrangian.base_ising, rng=rng)
+        machine = self._build_machine(lagrangian.base_ising, rng, config.dtype)
         schedule_fn = _SCHEDULES[config.schedule]
         if config.schedule == "linear":
             schedule = schedule_fn(config.beta_max, config.mcs_per_run, beta_min=0.0)

@@ -22,6 +22,27 @@ from repro.core.problem import ConstrainedProblem
 from repro.ising.model import IsingModel
 
 
+def saim_lagrangian(problem: ConstrainedProblem, alpha: float = 2.0,
+                    penalty: float | None = None) -> "LagrangianIsing":
+    """The Lagrangian system SAIM anneals for ``problem``.
+
+    Applies the engine's standard preprocessing — slack-encode any
+    inequalities, normalize, set ``P`` by the density heuristic unless an
+    explicit ``penalty`` is given — and returns the resulting
+    :class:`LagrangianIsing`.  Benchmarks and tests that need "the Ising
+    model SAIM actually sweeps" (``.base_ising`` is the lambda = 0 view)
+    use this instead of re-implementing the chain.
+    """
+    from repro.core.encoding import encode_with_slacks, normalize_problem
+    from repro.core.penalty import density_heuristic_penalty
+
+    encoded = encode_with_slacks(problem)
+    normalized, _ = normalize_problem(encoded.problem)
+    if penalty is None:
+        penalty = density_heuristic_penalty(normalized, alpha=alpha)
+    return LagrangianIsing(normalized, penalty)
+
+
 class LagrangianIsing:
     """Ising view of ``L(x; lambda)`` with cheap multiplier updates.
 

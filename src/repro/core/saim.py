@@ -40,6 +40,10 @@ _ETA_DECAYS = {
     "harmonic": lambda k: 1.0 / (k + 1.0),
 }
 
+# Machine coefficient precisions (see repro.ising.backend.SUPPORTED_DTYPES;
+# duplicated as plain strings so the config layer stays import-light).
+_DTYPES = ("float64", "float32")
+
 
 @dataclass(frozen=True)
 class SaimConfig:
@@ -86,6 +90,18 @@ class SaimConfig:
         Stop early after this many iterations without incumbent improvement
         (``None`` disables).  Counts only iterations after the first
         feasible sample, so the multiplier transient is never cut short.
+    dtype:
+        Coefficient storage / annealing-scan precision of the machine the
+        engine builds: ``"float64"`` (exact reference) or ``"float32"``
+        (the big-R fast path; halves kernel memory traffic).  The default
+        ``None`` leaves the choice to the machine factory (float64 for
+        every registered backend unless ``backend_options`` say
+        otherwise); an explicit value *pins* the precision — it overrides
+        the factory's own default and conflicts loudly with a differing
+        ``backend_options`` dtype.  Energy read-outs are
+        float64-accumulated at either setting, and the machine factory
+        must accept a ``dtype`` keyword for ``"float32"`` (all registered
+        backends do).
     """
 
     num_iterations: int = 2000
@@ -101,6 +117,7 @@ class SaimConfig:
     record_trace: bool = True
     target_cost: float | None = None
     patience: int | None = None
+    dtype: str | None = None
 
     def __post_init__(self):
         if self.num_iterations <= 0:
@@ -123,6 +140,10 @@ class SaimConfig:
             )
         if self.patience is not None and self.patience < 1:
             raise ValueError(f"patience must be >= 1, got {self.patience}")
+        if self.dtype is not None and self.dtype not in _DTYPES:
+            raise ValueError(
+                f"unknown dtype {self.dtype!r}; choose from {_DTYPES}"
+            )
 
     @classmethod
     def qkp_paper(cls, **overrides) -> "SaimConfig":

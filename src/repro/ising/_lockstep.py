@@ -15,6 +15,14 @@ identical, so it lives here once:
 - a block's accumulated flips hit the global input fields as one BLAS
   matmul instead of one rank-1 update per flip, and energies are
   recomputed from the maintained inputs once per sweep.
+
+The scan runs in a configurable storage/compute ``dtype``: ``float32``
+halves the memory traffic of the block matmuls (sgemm vs dgemm), which is
+where the big-R batched path spends its time.  Per-sweep *energies* are
+always accumulated in float64 from the maintained inputs, so integer-weight
+Hamiltonians — exactly representable in float32 — report exact energies at
+either precision, and float-weight models stay within float32 tolerance of
+the exact Hamiltonian.
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ def lockstep_anneal(
     thresholds_for,
     decide,
     record_energy: bool = False,
+    dtype=None,
 ):
     """Advance ``R`` lock-step chains; returns final/best states + energies.
 
@@ -49,7 +58,7 @@ def lockstep_anneal(
     thresholds_for:
         ``thresholds_for(beta) -> (n, R)`` per-sweep threshold table; this
         is where the sampler draws its noise, so it is called exactly once
-        per sweep, before the scan.
+        per sweep, before the scan.  Tables are cast to ``dtype`` here.
     decide:
         ``decide(thresholds_rows, input_rows, spin_rows) -> delta_rows``:
         the sampler's acceptance rule, vectorized over a ``(m, R)`` tail of
@@ -57,19 +66,26 @@ def lockstep_anneal(
         the given input fields are current*.
     record_energy:
         Also return ``(R, sweeps)`` per-sweep energy traces (else None).
+    dtype:
+        Storage/compute precision of the scan (``None`` → float64).  The
+        returned energies are float64 regardless (see module docstring).
 
     Returns ``(last_spins, last_energies, best_spins, best_energies,
     traces)`` with spins in ``(n, R)`` layout.
     """
+    dtype = np.dtype(np.float64) if dtype is None else np.dtype(dtype)
     num_replicas, n = states.shape
-    spins = np.ascontiguousarray(states.T)  # (n, R): row i = spin i
+    coupling = np.ascontiguousarray(coupling, dtype=dtype)
+    fields = np.asarray(fields, dtype=dtype)
+    spins = np.ascontiguousarray(states.T, dtype=dtype)  # (n, R): row i = spin i
     inputs = coupling @ spins + fields[:, None]
 
     def batch_energies():
-        # H = -1/2 s.J s - h.s + c  ==  -1/2 s.I - 1/2 h.s + c
+        # H = -1/2 s.I - 1/2 h.s + c, accumulated in float64 whatever the
+        # scan dtype (exact for integer-weight models).
         return (
-            -0.5 * np.einsum("ir,ir->r", spins, inputs)
-            - 0.5 * (fields @ spins)
+            -0.5 * np.einsum("ir,ir->r", spins, inputs, dtype=np.float64)
+            - 0.5 * np.einsum("i,ir->r", fields, spins, dtype=np.float64)
             + offset
         )
 
@@ -88,14 +104,14 @@ def lockstep_anneal(
     ]
 
     for sweep, beta in enumerate(betas):
-        thresholds = thresholds_for(beta)
+        thresholds = np.asarray(thresholds_for(beta), dtype=dtype)
 
         for i0, cols, sub in zip(starts, col_blocks, sub_blocks):
             size = cols.shape[1]
             local = inputs[i0:i0 + size].copy()
             thr_blk = thresholds[i0:i0 + size]
             spins_blk = spins[i0:i0 + size]  # view; writes hit `spins`
-            deltas = np.zeros((size, num_replicas))
+            deltas = np.zeros((size, num_replicas), dtype=dtype)
             flipped_any = False
             j = 0
             while j < size:

@@ -29,6 +29,11 @@ dispatches between two kernels:
   corrected incrementally, and each block's accumulated flips hit the global
   input fields as a single BLAS matmul.  Statistically equivalent to
   repeated serial runs and substantially faster per replica.
+
+The ``dtype`` knob selects the coefficient storage / scan precision
+(``"float64"`` default, ``"float32"`` for the big-R fast path); energies are
+always accumulated in float64, so integer-weight models report exact
+energies at either precision.
 """
 
 from __future__ import annotations
@@ -38,7 +43,12 @@ import math
 import numpy as np
 
 from repro.ising._lockstep import lockstep_anneal
-from repro.ising.backend import AnnealResult, BatchAnnealResult, batch_from_runs
+from repro.ising.backend import (
+    AnnealResult,
+    BatchAnnealResult,
+    batch_from_runs,
+    resolve_dtype,
+)
 from repro.ising.energy import ising_energy
 from repro.ising.model import IsingModel
 from repro.utils.rng import ensure_rng
@@ -58,11 +68,15 @@ class PBitMachine:
         without rebuilding the machine).
     rng:
         Seed or generator for the p-bit noise.
+    dtype:
+        Coefficient storage / batched-scan precision, ``"float64"`` or
+        ``"float32"``.  All energy read-outs are float64 regardless.
     """
 
-    def __init__(self, model: IsingModel, rng=None):
-        self._coupling = np.ascontiguousarray(model.coupling)
-        self._fields = np.asarray(model.fields, dtype=float).copy()
+    def __init__(self, model: IsingModel, rng=None, dtype=None):
+        self._dtype = resolve_dtype(dtype)
+        self._coupling = np.ascontiguousarray(model.coupling, dtype=self._dtype)
+        self._fields = np.asarray(model.fields, dtype=self._dtype).copy()
         self._offset = model.offset
         self._rng = ensure_rng(rng)
 
@@ -70,6 +84,11 @@ class PBitMachine:
     def num_spins(self) -> int:
         """Number of p-bits."""
         return self._fields.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Coefficient storage precision of the machine."""
+        return self._dtype
 
     @property
     def model(self) -> IsingModel:
@@ -83,7 +102,7 @@ class PBitMachine:
             raise ValueError(
                 f"fields must have shape {self._fields.shape}, got {fields.shape}"
             )
-        self._fields = fields.copy()
+        self._fields = fields.astype(self._dtype)
         if offset is not None:
             self._offset = float(offset)
 
@@ -218,6 +237,7 @@ class PBitMachine:
         """
         rng = self._rng
         num_replicas, n = states.shape
+        one = self._dtype.type(1.0)
 
         def thresholds_for(beta):
             noise = rng.uniform(-1.0, 1.0, size=(n, num_replicas))
@@ -228,11 +248,12 @@ class PBitMachine:
             return np.where(noise >= 0.0, -np.inf, np.inf)
 
         def decide(taus_rows, input_rows, spin_rows):
-            return np.where(input_rows >= taus_rows, 1.0, -1.0) - spin_rows
+            return np.where(input_rows >= taus_rows, one, -one) - spin_rows
 
         spins, energies, best_spins, best_energies, traces = lockstep_anneal(
             self._coupling, self._fields, self._offset, betas, states,
             thresholds_for, decide, record_energy=record_energy,
+            dtype=self._dtype,
         )
         return BatchAnnealResult(
             last_samples=spins.T.copy(),

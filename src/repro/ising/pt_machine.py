@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.ising.backend import resolve_dtype
 from repro.ising.model import IsingModel
 from repro.ising.parallel_tempering import parallel_tempering
 from repro.ising.pbit import AnnealResult
@@ -34,14 +35,20 @@ class PTMachine:
         ``"cold"`` — the coldest replica's final state (the closest
         analogue of the paper's "last sample" read-out) or ``"best"`` —
         the lowest-energy state seen anywhere.
+    dtype:
+        Coefficient *storage* precision (``"float64"`` / ``"float32"``).
+        The PT sampler itself computes in float64 over the stored — i.e.
+        float32-rounded — coefficients, matching the storage-dtype
+        semantics of the batched machines.
     """
 
     def __init__(self, model: IsingModel, rng=None, num_replicas: int = 8,
-                 beta_min: float = 0.1, read_out: str = "cold"):
+                 beta_min: float = 0.1, read_out: str = "cold", dtype=None):
         if read_out not in ("cold", "best"):
             raise ValueError(f"read_out must be 'cold' or 'best', got {read_out!r}")
-        self._coupling = model.coupling
-        self._fields = model.fields.copy()
+        self._dtype = resolve_dtype(dtype)
+        self._coupling = np.asarray(model.coupling, dtype=self._dtype)
+        self._fields = np.asarray(model.fields, dtype=self._dtype).copy()
         self._offset = model.offset
         self._rng = ensure_rng(rng)
         self._num_replicas = num_replicas
@@ -52,6 +59,11 @@ class PTMachine:
     def num_spins(self) -> int:
         """Number of spins."""
         return self._fields.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Coefficient storage precision of the machine."""
+        return self._dtype
 
     @property
     def model(self) -> IsingModel:
@@ -65,7 +77,7 @@ class PTMachine:
             raise ValueError(
                 f"fields must have shape {self._fields.shape}, got {fields.shape}"
             )
-        self._fields = fields.copy()
+        self._fields = fields.astype(self._dtype)
         if offset is not None:
             self._offset = float(offset)
 

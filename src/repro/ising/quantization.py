@@ -99,7 +99,7 @@ class QuantizedPBitMachine(PBitMachine):
     samples the quantized Hamiltonian exactly like the serial one.
     """
 
-    def __init__(self, model: IsingModel, bits: int, rng=None):
+    def __init__(self, model: IsingModel, bits: int, rng=None, dtype=None):
         self._spec = QuantizationSpec(bits)
         self._full_scale = max(
             float(np.max(np.abs(model.coupling))) if model.coupling.size else 0.0,
@@ -107,7 +107,7 @@ class QuantizedPBitMachine(PBitMachine):
         )
         if self._full_scale == 0.0:
             self._full_scale = 1.0
-        super().__init__(quantize_ising(model, bits), rng=rng)
+        super().__init__(quantize_ising(model, bits), rng=rng, dtype=dtype)
 
     @property
     def bits(self) -> int:

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ising._lockstep import lockstep_anneal
-from repro.ising.backend import BatchAnnealResult, batch_from_runs
+from repro.ising.backend import BatchAnnealResult, batch_from_runs, resolve_dtype
 from repro.ising.energy import ising_energy
 from repro.ising.model import IsingModel
 from repro.utils.rng import ensure_rng
@@ -48,12 +48,14 @@ class MetropolisMachine:
     sweep); the vectorized ``R > 1`` path uses systematic scan order shared
     by all replicas (the p-bit machine's sweep style) so replicas stay in
     lock-step — both are valid Metropolis chains with the same stationary
-    distribution.
+    distribution.  ``dtype`` selects the coefficient storage / batched-scan
+    precision (energies stay float64-accumulated).
     """
 
-    def __init__(self, model: IsingModel, rng=None):
-        self._coupling = model.coupling
-        self._fields = model.fields.copy()
+    def __init__(self, model: IsingModel, rng=None, dtype=None):
+        self._dtype = resolve_dtype(dtype)
+        self._coupling = np.ascontiguousarray(model.coupling, dtype=self._dtype)
+        self._fields = np.asarray(model.fields, dtype=self._dtype).copy()
         self._offset = model.offset
         self._rng = ensure_rng(rng)
 
@@ -61,6 +63,11 @@ class MetropolisMachine:
     def num_spins(self) -> int:
         """Number of spins."""
         return self._fields.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Coefficient storage precision of the machine."""
+        return self._dtype
 
     @property
     def model(self) -> IsingModel:
@@ -74,7 +81,7 @@ class MetropolisMachine:
             raise ValueError(
                 f"fields must have shape {self._fields.shape}, got {fields.shape}"
             )
-        self._fields = fields.copy()
+        self._fields = fields.astype(self._dtype)
         if offset is not None:
             self._offset = float(offset)
 
@@ -89,7 +96,8 @@ class MetropolisMachine:
         )
 
     def anneal_many(
-        self, beta_schedule, num_replicas: int, initial=None
+        self, beta_schedule, num_replicas: int, initial=None,
+        record_energy: bool = False,
     ) -> BatchAnnealResult:
         """Anneal ``num_replicas`` independent Metropolis replicas.
 
@@ -97,6 +105,7 @@ class MetropolisMachine:
         runs the lock-step vectorized kernel (systematic scan, speculative
         block decisions — see :mod:`repro.ising.pbit` for the scheme, here
         with the Metropolis acceptance rule ``m_i I_i < -log(u) / 2 beta``).
+        ``record_energy`` stores per-sweep traces in ``energy_traces``.
         """
         betas = np.asarray(beta_schedule, dtype=float)
         if betas.ndim != 1 or betas.size == 0:
@@ -117,13 +126,14 @@ class MetropolisMachine:
                 )
         if num_replicas == 1:
             run = simulated_annealing(
-                self.model, betas, rng=self._rng, initial=states[0]
+                self.model, betas, rng=self._rng, initial=states[0],
+                record_energy=record_energy,
             )
             return batch_from_runs([run])
-        return self._anneal_vectorized(betas, states)
+        return self._anneal_vectorized(betas, states, record_energy)
 
     def _anneal_vectorized(
-        self, betas: np.ndarray, states: np.ndarray
+        self, betas: np.ndarray, states: np.ndarray, record_energy: bool = False
     ) -> BatchAnnealResult:
         rng = self._rng
         num_replicas, n = states.shape
@@ -140,9 +150,10 @@ class MetropolisMachine:
             flip = spin_rows * input_rows < thr_rows
             return np.where(flip, -2.0 * spin_rows, 0.0)
 
-        spins, energies, best_spins, best_energies, _ = lockstep_anneal(
-            np.ascontiguousarray(self._coupling), self._fields, self._offset,
+        spins, energies, best_spins, best_energies, traces = lockstep_anneal(
+            self._coupling, self._fields, self._offset,
             betas, states, thresholds_for, decide,
+            record_energy=record_energy, dtype=self._dtype,
         )
         return BatchAnnealResult(
             last_samples=spins.T.copy(),
@@ -150,6 +161,7 @@ class MetropolisMachine:
             best_samples=best_spins.T.copy(),
             best_energies=best_energies,
             num_sweeps=betas.size,
+            energy_traces=traces,
         )
 
 

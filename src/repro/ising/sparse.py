@@ -24,6 +24,7 @@ import networkx as nx
 import numpy as np
 from scipy import sparse as sp
 
+from repro.ising.backend import resolve_dtype
 from repro.utils.rng import ensure_rng
 
 
@@ -99,28 +100,71 @@ class ChromaticPBitMachine:
 
     Each sweep updates the color classes in order; within a class all p-bits
     fire simultaneously (vectorized), which is exact block Gibbs sampling
-    because same-color spins are mutually uncoupled.
+    because same-color spins are mutually uncoupled.  ``anneal_many``
+    additionally vectorizes *across replicas*: one color-class update is a
+    single ``(class, n) @ (n, R)`` matmul serving all ``R`` replicas at once,
+    so a sweep costs ``num_colors`` matmuls regardless of replica count.
 
     Implements the :class:`repro.ising.backend.AnnealingBackend` protocol
     (``set_fields`` + ``anneal_many``), so SAIM can drive it like any other
-    programmable IM; :meth:`from_dense` adapts the dense models the SAIM
-    engine builds.  On a dense problem the coloring degenerates to one spin
-    per color (sequential Gibbs) — the machine's parallelism pays off on the
-    sparse topologies hardware p-bit arrays target.
+    programmable IM; dense :class:`repro.ising.model.IsingModel` inputs (what
+    the SAIM engine builds) are adapted automatically.  On a dense problem
+    the coloring degenerates to one spin per color (sequential Gibbs) — the
+    machine's parallelism pays off on the sparse topologies hardware p-bit
+    arrays target.
+
+    Parameters
+    ----------
+    model:
+        A :class:`SparseIsingModel`, or a dense ``IsingModel`` (converted).
+    rng:
+        Seed or generator for the p-bit noise.
+    dtype:
+        Scan precision of the per-color updates (``"float64"`` default or
+        ``"float32"``).  Per-sweep energies are always computed in float64
+        from the canonical couplings, so read-outs stay exact.
+    storage:
+        Layout of the per-color coupling row blocks: ``"csr"`` (sparse
+        matmuls; right for genuinely sparse graphs) or ``"dense"``
+        (contiguous BLAS blocks; faster when the adjacency is dense-ish).
+        Both layouts run the identical update rule on the identical noise
+        stream — on integer-weight models they are bit-identical.
     """
 
-    def __init__(self, model: SparseIsingModel, rng=None):
+    def __init__(self, model, rng=None, dtype=None, storage: str = "csr"):
+        if not isinstance(model, SparseIsingModel):
+            model = SparseIsingModel.from_dense(model)
+        if storage not in ("csr", "dense"):
+            raise ValueError(f"storage must be 'csr' or 'dense', got {storage!r}")
         self._model = model
+        self._dtype = resolve_dtype(dtype)
+        self._storage = storage
         self._colors = greedy_coloring(model)
         # The coupling graph is fixed for the machine's lifetime (SAIM only
-        # reprograms fields), so the per-color row slices are built once.
-        self._color_rows = [model.coupling[color] for color in self._colors]
+        # reprograms fields), so the per-color row blocks are built once,
+        # already cast to the scan dtype.
+        if storage == "csr":
+            self._color_rows = [
+                model.coupling[color].astype(self._dtype)
+                for color in self._colors
+            ]
+        else:
+            self._color_rows = [
+                np.ascontiguousarray(
+                    model.coupling[color].toarray(), dtype=self._dtype
+                )
+                for color in self._colors
+            ]
         self._rng = ensure_rng(rng)
 
     @classmethod
-    def from_dense(cls, model, rng=None) -> "ChromaticPBitMachine":
+    def from_dense(cls, model, rng=None, dtype=None,
+                   storage: str = "csr") -> "ChromaticPBitMachine":
         """Build from a dense :class:`repro.ising.model.IsingModel`."""
-        return cls(SparseIsingModel.from_dense(model), rng=rng)
+        return cls(
+            SparseIsingModel.from_dense(model), rng=rng, dtype=dtype,
+            storage=storage,
+        )
 
     @property
     def num_colors(self) -> int:
@@ -131,6 +175,16 @@ class ChromaticPBitMachine:
     def num_spins(self) -> int:
         """Number of p-bits."""
         return self._model.num_spins
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Scan precision of the per-color updates."""
+        return self._dtype
+
+    @property
+    def storage(self) -> str:
+        """Row-block layout of the per-color couplings (csr or dense)."""
+        return self._storage
 
     @property
     def model(self) -> SparseIsingModel:
@@ -151,49 +205,34 @@ class ChromaticPBitMachine:
         if offset is not None:
             self._model.offset = float(offset)
 
-    def anneal(self, beta_schedule, initial=None):
-        """Annealed chromatic Gibbs sampling; returns an ``AnnealResult``."""
-        from repro.ising.pbit import AnnealResult
+    def anneal(self, beta_schedule, initial=None, record_energy: bool = False):
+        """Annealed chromatic Gibbs sampling; returns an ``AnnealResult``.
 
-        betas = np.asarray(beta_schedule, dtype=float)
-        if betas.ndim != 1 or betas.size == 0:
-            raise ValueError("beta_schedule must be a non-empty 1-D sequence")
-        model = self._model
-        rng = self._rng
-        n = model.num_spins
-        if initial is None:
-            spins = rng.choice(np.array([-1.0, 1.0]), size=n)
-        else:
-            spins = np.asarray(initial, dtype=float).copy()
-            if spins.shape != (n,):
-                raise ValueError(f"initial must have shape ({n},)")
-
-        best_energy = model.energy(spins)
-        best_sample = spins.copy()
-        for beta in betas:
-            for color, rows in zip(self._colors, self._color_rows):
-                inputs = rows @ spins + model.fields[color]
-                noise = rng.uniform(-1.0, 1.0, size=color.size)
-                spins[color] = np.where(
-                    np.tanh(beta * inputs) + noise >= 0.0, 1.0, -1.0
+        The ``R = 1`` view of :meth:`anneal_many` (same noise stream as the
+        historical serial loop: one uniform draw per color-class member).
+        """
+        if initial is not None:
+            initial = np.asarray(initial, dtype=float)
+            if initial.shape != (self.num_spins,):
+                raise ValueError(
+                    f"initial must have shape ({self.num_spins},), "
+                    f"got {initial.shape}"
                 )
-            energy = model.energy(spins)
-            if energy < best_energy:
-                best_energy = energy
-                best_sample = spins.copy()
-        return AnnealResult(
-            last_sample=spins,
-            last_energy=model.energy(spins),
-            best_sample=best_sample,
-            best_energy=best_energy,
-            num_sweeps=betas.size,
-        )
+            initial = initial[None, :]
+        return self.anneal_many(
+            beta_schedule, 1, initial=initial, record_energy=record_energy
+        ).per_run(0)
 
-    def anneal_many(self, beta_schedule, num_replicas: int, initial=None):
+    def anneal_many(self, beta_schedule, num_replicas: int, initial=None,
+                    record_energy: bool = False):
         """Anneal ``num_replicas`` independent chromatic-Gibbs replicas.
 
         Vectorized over replicas *and* within each color class: one sweep
-        costs ``num_colors`` sparse matmuls regardless of replica count.
+        costs ``num_colors`` matmuls (CSR or dense BLAS, per ``storage``)
+        regardless of replica count.  The scan runs in the machine's
+        ``dtype``; per-sweep energies are recomputed in float64 from the
+        canonical couplings.  ``record_energy`` stores the ``(R, sweeps)``
+        traces.
         """
         from repro.ising.backend import BatchAnnealResult
 
@@ -205,6 +244,8 @@ class ChromaticPBitMachine:
         model = self._model
         rng = self._rng
         n = model.num_spins
+        dtype = self._dtype
+        one = dtype.type(1.0)
         if initial is None:
             states = rng.choice(np.array([-1.0, 1.0]), size=(num_replicas, n))
         else:
@@ -215,34 +256,50 @@ class ChromaticPBitMachine:
                     f"got {states.shape}"
                 )
 
-        spins = np.ascontiguousarray(states.T)  # (n, R)
+        spins = np.ascontiguousarray(states.T, dtype=dtype)  # (n, R)
         coupling = model.coupling
-        fields = model.fields
-        offset = model.offset
+        # Scan-dtype view of the fields, sliced per color once per call
+        # (SAIM reprograms fields between calls, never during one).
+        color_fields = [
+            model.fields[color].astype(dtype)[:, None] for color in self._colors
+        ]
 
         def batch_energies(s):
+            # Float64 accounting from the canonical (float64) couplings:
+            # exact read-outs whatever the scan dtype.
+            s64 = s.astype(np.float64, copy=False)
             return (
-                -0.5 * np.einsum("ir,ir->r", s, coupling @ s)
-                - fields @ s
-                + offset
+                -0.5 * np.einsum("ir,ir->r", s64, coupling @ s64)
+                - model.fields @ s64
+                + model.offset
             )
 
         energies = batch_energies(spins)
         best_energies = energies.copy()
         best_spins = spins.copy()
+        traces = (
+            np.empty((num_replicas, betas.size)) if record_energy else None
+        )
 
-        for beta in betas:
-            for color, rows in zip(self._colors, self._color_rows):
-                inputs = rows @ spins + fields[color][:, None]
-                noise = rng.uniform(-1.0, 1.0, size=(color.size, num_replicas))
+        for sweep, beta in enumerate(betas):
+            beta_dt = dtype.type(beta)  # keep the whole update in scan dtype
+            for color, rows, fields_blk in zip(
+                self._colors, self._color_rows, color_fields
+            ):
+                inputs = rows @ spins + fields_blk
+                noise = rng.uniform(
+                    -1.0, 1.0, size=(color.size, num_replicas)
+                ).astype(dtype, copy=False)
                 spins[color] = np.where(
-                    np.tanh(beta * inputs) + noise >= 0.0, 1.0, -1.0
+                    np.tanh(beta_dt * inputs) + noise >= 0.0, one, -one
                 )
             energies = batch_energies(spins)
             improved = energies < best_energies
             if improved.any():
                 best_energies[improved] = energies[improved]
                 best_spins[:, improved] = spins[:, improved]
+            if record_energy:
+                traces[:, sweep] = energies
 
         return BatchAnnealResult(
             last_samples=spins.T.copy(),
@@ -250,6 +307,7 @@ class ChromaticPBitMachine:
             best_samples=best_spins.T.copy(),
             best_energies=best_energies,
             num_sweeps=betas.size,
+            energy_traces=traces,
         )
 
 

@@ -20,6 +20,10 @@ class TestReadme:
         assert report.num_iterations > 0
         assert 0.0 <= report.detail.feasible_ratio <= 1.0
         assert namespace["exact"].feasible
+        # The float32 fast-path example must run and report real replicas.
+        fast = namespace["fast"]
+        assert fast.num_replicas == 32
+        assert fast.num_iterations > 0
 
     def test_mentions_all_deliverable_paths(self):
         text = README.read_text()

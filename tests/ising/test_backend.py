@@ -1,26 +1,34 @@
 """Contract and statistical tests for the AnnealingBackend protocol.
 
-Every machine must return array-shaped :class:`BatchAnnealResult` objects
-from ``anneal_many``, the batched kernels must be statistically equivalent
-to repeated serial runs (validated against exact Boltzmann weights on a tiny
-model), and the ``R = 1`` dispatch must stay bit-exact with the serial
-reference kernels.
+The contract suite **auto-discovers** every backend registered with the
+front door (``repro.available_backends()``), so a newly registered machine
+is pulled into the contract the moment it is registered — it cannot
+silently skip these tests.  Each backend must return array-shaped
+:class:`BatchAnnealResult` objects (natively or via the serial-dispatch
+fallback), report energies consistent with its own Hamiltonian, keep doing
+so after ``set_fields`` reprogramming, and hold its shape contract at
+big replica counts (R >= 128) in both storage dtypes.
+
+The statistical sections validate the batched kernels against exact
+Boltzmann weights on tiny models, and the ``R = 1`` dispatch against the
+serial reference kernels bit-for-bit.
 """
 
 import numpy as np
 import pytest
 
+import repro
 from repro.core.schedule import constant_beta_schedule, linear_beta_schedule
 from repro.ising.backend import (
     AnnealingBackend,
     BatchAnnealResult,
     batch_from_runs,
     dispatch_anneal_many,
+    resolve_dtype,
 )
 from repro.ising.exhaustive import enumerate_energies
 from repro.ising.pbit import PBitMachine
 from repro.ising.pt_machine import PTMachine
-from repro.ising.quantization import QuantizedPBitMachine
 from repro.ising.sa import MetropolisMachine
 from repro.ising.sparse import ChromaticPBitMachine, random_sparse_ising
 from tests.helpers import random_ising
@@ -29,39 +37,48 @@ N = 10
 REPLICAS = 5
 SCHEDULE = linear_beta_schedule(3.0, 40)
 
-
-def _machines():
-    """One instance of each of the four protocol backends (dense model)."""
-    model = random_ising(N, rng=0)
-    return {
-        "pbit": PBitMachine(model, rng=1),
-        "metropolis": MetropolisMachine(model, rng=1),
-        "quantized": QuantizedPBitMachine(model, bits=10, rng=1),
-        "chromatic": ChromaticPBitMachine.from_dense(model, rng=1),
-    }
+# The registry IS the discovery mechanism: registering a backend opts it
+# into this file's whole contract.
+BACKENDS = tuple(repro.available_backends())
+DTYPES = ("float64", "float32")
 
 
-class TestProtocolConformance:
-    @pytest.mark.parametrize("name", ["pbit", "metropolis", "quantized",
-                                      "chromatic"])
-    def test_backends_satisfy_protocol(self, name):
-        machine = _machines()[name]
-        assert isinstance(machine, AnnealingBackend)
+def _machine(name: str, model=None, rng=1, dtype=None):
+    """One machine instance of a registered backend, via its factory."""
+    if model is None:
+        model = random_ising(N, rng=0)
+    return repro.make_backend_factory(name)(model, rng=rng, dtype=dtype)
+
+
+class TestRegistryDiscovery:
+    def test_known_backends_are_registered(self):
+        """The ships-with set must be present (guards registry regressions)."""
+        for name in ("pbit", "metropolis", "quantized", "chromatic", "pt"):
+            assert name in BACKENDS
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_factory_builds_a_drivable_machine(self, name):
+        """Every registered factory yields the SAIM-drivable surface."""
+        machine = _machine(name)
         assert machine.num_spins == N
+        assert callable(machine.set_fields)
+        # Protocol natively, or serial `anneal` served by the dispatcher.
+        assert isinstance(machine, AnnealingBackend) or callable(
+            getattr(machine, "anneal", None)
+        )
 
-    def test_pt_machine_usable_via_fallback(self):
-        machine = PTMachine(random_ising(N, rng=0), rng=3)
-        batch = dispatch_anneal_many(machine, SCHEDULE, 3)
-        assert isinstance(batch, BatchAnnealResult)
-        assert batch.last_samples.shape == (3, N)
+    @pytest.mark.parametrize("name", BACKENDS)
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_factory_accepts_both_dtypes(self, name, dtype):
+        machine = _machine(name, dtype=dtype)
+        assert machine.dtype == resolve_dtype(dtype)
 
 
 class TestBatchResultContract:
-    @pytest.mark.parametrize("name", ["pbit", "metropolis", "quantized",
-                                      "chromatic"])
+    @pytest.mark.parametrize("name", BACKENDS)
     def test_shapes_and_dtypes(self, name):
-        machine = _machines()[name]
-        batch = machine.anneal_many(SCHEDULE, REPLICAS)
+        machine = _machine(name)
+        batch = dispatch_anneal_many(machine, SCHEDULE, REPLICAS)
         assert isinstance(batch, BatchAnnealResult)
         assert batch.num_replicas == REPLICAS
         assert batch.num_spins == N
@@ -76,12 +93,11 @@ class TestBatchResultContract:
         np.testing.assert_array_equal(np.abs(batch.last_samples), 1.0)
         np.testing.assert_array_equal(np.abs(batch.best_samples), 1.0)
 
-    @pytest.mark.parametrize("name", ["pbit", "metropolis", "quantized",
-                                      "chromatic"])
+    @pytest.mark.parametrize("name", BACKENDS)
     def test_energies_consistent_with_samples(self, name):
-        machine = _machines()[name]
+        machine = _machine(name)
         model = machine.model
-        batch = machine.anneal_many(SCHEDULE, REPLICAS)
+        batch = dispatch_anneal_many(machine, SCHEDULE, REPLICAS)
         for r in range(REPLICAS):
             last = model.energy(batch.last_samples[r])
             best = model.energy(batch.best_samples[r])
@@ -89,8 +105,36 @@ class TestBatchResultContract:
             assert batch.best_energies[r] == pytest.approx(best, abs=1e-8)
             assert batch.best_energies[r] <= batch.last_energies[r] + 1e-9
 
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_energies_stay_consistent_after_set_fields(self, name):
+        """Reprogramming fields (SAIM's hot path) must retarget read-outs."""
+        machine = _machine(name)
+        rng = np.random.default_rng(9)
+        machine.set_fields(rng.uniform(-1, 1, size=N), offset=0.25)
+        model = machine.model  # reflects the (possibly re-quantized) fields
+        batch = dispatch_anneal_many(machine, SCHEDULE, 3)
+        for r in range(3):
+            assert batch.last_energies[r] == pytest.approx(
+                model.energy(batch.last_samples[r]), abs=1e-8
+            )
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("replicas", [1, 8, 128])
+    def test_shape_contract_at_any_replica_count(self, name, dtype, replicas):
+        """R >= 128 exercises the big-R batched kernels in both dtypes."""
+        model = random_ising(8, rng=2)
+        machine = _machine(name, model=model, rng=4, dtype=dtype)
+        schedule = linear_beta_schedule(2.0, 6)
+        batch = dispatch_anneal_many(machine, schedule, replicas)
+        assert batch.num_replicas == replicas
+        assert batch.last_samples.shape == (replicas, 8)
+        assert batch.best_samples.shape == (replicas, 8)
+        assert np.all(np.isfinite(batch.last_energies))
+        np.testing.assert_array_equal(np.abs(batch.last_samples), 1.0)
+
     def test_per_run_views_and_iteration(self):
-        machine = _machines()["pbit"]
+        machine = _machine("pbit")
         batch = machine.anneal_many(SCHEDULE, 3)
         runs = list(batch)
         assert len(batch) == 3 and len(runs) == 3
@@ -99,13 +143,14 @@ class TestBatchResultContract:
             assert run.last_energy == batch.last_energies[r]
             assert run.num_sweeps == batch.num_sweeps
 
-    def test_initial_state_shape_checked(self):
-        machine = _machines()["pbit"]
+    @pytest.mark.parametrize("name", ["pbit", "metropolis", "chromatic"])
+    def test_initial_state_shape_checked(self, name):
+        machine = _machine(name)
         with pytest.raises(ValueError):
             machine.anneal_many(SCHEDULE, 3, initial=np.ones((2, N)))
 
     def test_batch_from_runs_round_trip(self):
-        machine = _machines()["pbit"]
+        machine = _machine("pbit")
         runs = [machine.anneal(SCHEDULE) for _ in range(3)]
         batch = batch_from_runs(runs)
         assert batch.num_replicas == 3
@@ -120,6 +165,12 @@ class TestBatchResultContract:
                 best_energies=np.zeros(2),
                 num_sweeps=5,
             )
+
+    def test_pt_machine_usable_via_fallback(self):
+        machine = PTMachine(random_ising(N, rng=0), rng=3)
+        batch = dispatch_anneal_many(machine, SCHEDULE, 3)
+        assert isinstance(batch, BatchAnnealResult)
+        assert batch.last_samples.shape == (3, N)
 
 
 class TestSerialViewBitParity:
@@ -140,6 +191,49 @@ class TestSerialViewBitParity:
         batch = MetropolisMachine(model, rng=77).anneal_many(SCHEDULE, 1)
         np.testing.assert_array_equal(serial.last_sample, batch.last_samples[0])
         assert serial.last_energy == batch.last_energies[0]
+
+    def test_chromatic_anneal_equals_anneal_many_r1(self):
+        sparse_model = random_sparse_ising(12, degree=3, rng=4)
+        serial = ChromaticPBitMachine(sparse_model, rng=77).anneal(SCHEDULE)
+        batch = ChromaticPBitMachine(sparse_model, rng=77).anneal_many(SCHEDULE, 1)
+        np.testing.assert_array_equal(serial.last_sample, batch.last_samples[0])
+        assert serial.last_energy == batch.last_energies[0]
+
+    def test_chromatic_matches_independent_serial_reference(self):
+        """Pin the chromatic noise stream against a from-scratch loop.
+
+        ``anneal`` delegates to ``anneal_many`` these days, so this
+        reference — the historical color-by-color serial Gibbs sweep,
+        re-implemented here independently — is what keeps the shared path
+        honest about its draw order (one uniform per class member per
+        color per sweep, after one draw per spin for the initial state).
+        """
+        model = random_sparse_ising(12, degree=3, rng=4)
+        machine = ChromaticPBitMachine(model, rng=77)
+        result = machine.anneal(SCHEDULE)
+
+        from repro.ising.sparse import greedy_coloring
+
+        rng = np.random.default_rng(77)  # ensure_rng(77) is default_rng(77)
+        colors = greedy_coloring(model)
+        spins = rng.choice(np.array([-1.0, 1.0]), size=model.num_spins)
+        best_energy = model.energy(spins)
+        best_sample = spins.copy()
+        for beta in SCHEDULE:
+            for color in colors:
+                inputs = model.coupling[color] @ spins + model.fields[color]
+                noise = rng.uniform(-1.0, 1.0, size=color.size)
+                spins[color] = np.where(
+                    np.tanh(beta * inputs) + noise >= 0.0, 1.0, -1.0
+                )
+            energy = model.energy(spins)
+            if energy < best_energy:
+                best_energy = energy
+                best_sample = spins.copy()
+
+        np.testing.assert_array_equal(result.last_sample, spins)
+        np.testing.assert_array_equal(result.best_sample, best_sample)
+        assert result.best_energy == pytest.approx(best_energy, abs=1e-9)
 
 
 class TestBoltzmannEquivalence:
@@ -173,6 +267,19 @@ class TestBoltzmannEquivalence:
         # Boltzmann average (and of each other).
         assert abs(batched_mean - exact) < 4.0 * spread / np.sqrt(400)
         assert abs(serial_mean - exact) < 4.0 * spread / np.sqrt(200)
+
+    def test_float32_pbit_matches_exact_boltzmann(self):
+        """The reduced-precision scan must sample the same distribution."""
+        model = random_ising(4, rng=6, density=1.0)
+        beta = 0.7
+        exact = self._exact_mean_energy(model, beta)
+        schedule = constant_beta_schedule(beta, 30)
+        batch = PBitMachine(model, rng=19, dtype="float32").anneal_many(
+            schedule, 400
+        )
+        spread = float(np.std(batch.last_energies))
+        assert abs(float(batch.last_energies.mean()) - exact) \
+            < 4.0 * spread / np.sqrt(400)
 
     def test_batched_metropolis_matches_exact_boltzmann(self):
         model = random_ising(4, rng=8, density=1.0)
