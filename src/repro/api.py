@@ -107,8 +107,9 @@ def register_method(
     """Register a solver method.
 
     ``runner(problem, instance=..., config=..., backend=...,
-    num_replicas=..., aggregate=..., rng=..., initial_lambdas=...,
-    backend_options=..., method_options=...)`` returns either a
+    num_replicas=..., aggregate=..., restart=..., rng=...,
+    initial_lambdas=..., backend_options=..., method_options=...)``
+    returns either a
     :class:`~repro.core.report.SolveReport` or a native result object
     (coerced into the schema by the front door).  ``problem`` is the
     :class:`~repro.core.problem.ConstrainedProblem` form; ``instance`` is
@@ -210,12 +211,18 @@ def _build_config(config, overrides) -> SaimConfig:
 
 
 def _reject_backend_knobs(method, backend, num_replicas, aggregate,
-                          backend_options, initial_lambdas, uses_lambdas):
+                          backend_options, initial_lambdas, uses_lambdas,
+                          restart):
     """Backend-free methods refuse annealing knobs instead of ignoring them."""
     if backend is not None:
         raise ValueError(
             f"method {method!r} is backend-free; it accepts no backend "
             f"(got {backend!r})"
+        )
+    if restart != "random":
+        raise ValueError(
+            f"method {method!r} is backend-free; it has no annealing "
+            f"restarts (got restart={restart!r})"
         )
     if backend_options:
         raise ValueError(
@@ -246,6 +253,7 @@ def solve(
     config=None,
     num_replicas: int = 1,
     aggregate: str = "best",
+    restart: str = "random",
     rng=None,
     initial_lambdas=None,
     backend_options: dict | None = None,
@@ -279,6 +287,13 @@ def solve(
     num_replicas / aggregate:
         Replica-parallel settings of the engine loop (``1`` is the paper's
         serial algorithm).
+    restart:
+        Annealing-replica restart policy per SAIM iteration: ``"random"``
+        (the paper — fresh uniform spins every run) or ``"warm"`` (each
+        run resumes the previous iteration's final spins; the lock-step
+        machines then skip the start-of-run ``O(N^2 R)`` input matmul).
+        Annealing methods only; rejected on the ``"pt"`` backend, which
+        owns its replica initialization.
     rng:
         Seed or generator (stochastic methods).
     initial_lambdas:
@@ -304,7 +319,7 @@ def solve(
     else:
         _reject_backend_knobs(
             method, backend, num_replicas, aggregate, backend_options,
-            initial_lambdas, spec.uses_lambdas,
+            initial_lambdas, spec.uses_lambdas, restart,
         )
         backend_name = None
 
@@ -327,6 +342,7 @@ def solve(
         backend=backend_name,
         num_replicas=num_replicas,
         aggregate=aggregate,
+        restart=restart,
         rng=rng,
         initial_lambdas=initial_lambdas,
         backend_options=backend_options,
@@ -361,42 +377,45 @@ def _resolve_builder_dtype(default: str | None):
     return default
 
 
-def _pbit_builder(dtype: str | None = None):
+def _pbit_builder(dtype: str | None = None, kernel: str = "lockstep"):
     from repro.ising.pbit import PBitMachine
 
     default = _resolve_builder_dtype(dtype)
 
     def factory(model, rng=None, dtype=None):
-        return PBitMachine(model, rng=rng, dtype=dtype or default)
+        return PBitMachine(model, rng=rng, dtype=dtype or default,
+                           kernel=kernel)
 
     return factory
 
 
-def _metropolis_builder(dtype: str | None = None):
+def _metropolis_builder(dtype: str | None = None, kernel: str = "serial"):
     from repro.ising.sa import MetropolisMachine
 
     default = _resolve_builder_dtype(dtype)
 
     def factory(model, rng=None, dtype=None):
-        return MetropolisMachine(model, rng=rng, dtype=dtype or default)
+        return MetropolisMachine(model, rng=rng, dtype=dtype or default,
+                                 kernel=kernel)
 
     return factory
 
 
-def _quantized_builder(bits: int = 8, dtype: str | None = None):
+def _quantized_builder(bits: int = 8, dtype: str | None = None,
+                       kernel: str = "lockstep"):
     from repro.ising.quantization import QuantizedPBitMachine
 
     default = _resolve_builder_dtype(dtype)
 
     def factory(model, rng=None, dtype=None):
         return QuantizedPBitMachine(
-            model, bits=bits, rng=rng, dtype=dtype or default
+            model, bits=bits, rng=rng, dtype=dtype or default, kernel=kernel
         )
 
     return factory
 
 
-def _chromatic_builder(dtype: str | None = None, storage: str = "csr"):
+def _chromatic_builder(dtype: str | None = None, storage: str | None = None):
     from repro.ising.sparse import ChromaticPBitMachine
 
     default = _resolve_builder_dtype(dtype)
@@ -451,8 +470,8 @@ def _pt_builder(num_chains: int | None = None, beta_min: float = 0.1,
 # --------------------------------------------------------------------------
 # Annealing methods.
 
-def _run_saim(problem, *, config, backend, num_replicas, aggregate, rng,
-              initial_lambdas, backend_options, method_options, **_):
+def _run_saim(problem, *, config, backend, num_replicas, aggregate, restart,
+              rng, initial_lambdas, backend_options, method_options, **_):
     from repro.core.engine import SaimEngine
     from repro.ising.backend import resolve_dtype
 
@@ -466,6 +485,14 @@ def _run_saim(problem, *, config, backend, num_replicas, aggregate, rng,
     # They must agree when both are given explicitly (the config default
     # ``None`` defers to the backend options); either way a single
     # resolved dtype reaches the machine factory.
+    if restart == "warm" and backend == "pt":
+        # PTMachine owns its replica initialization (anneal's `initial` is
+        # interface parity only), so a warm restart would be silently
+        # ignored — refuse instead.
+        raise ValueError(
+            "restart='warm' is not supported on the 'pt' backend: parallel "
+            "tempering re-initializes its own replica ladder every run"
+        )
     options = dict(backend_options or {})
     option_dtype = options.get("dtype")
     if (
@@ -481,6 +508,7 @@ def _run_saim(problem, *, config, backend, num_replicas, aggregate, rng,
         config,
         num_replicas=num_replicas,
         aggregate=aggregate,
+        restart=restart,
         machine_factory=make_backend_factory(backend, **options),
     )
     result = engine.solve(problem, rng=rng, initial_lambdas=initial_lambdas)
@@ -497,8 +525,9 @@ def _run_saim(problem, *, config, backend, num_replicas, aggregate, rng,
     )
 
 
-def _run_penalty(problem, *, config, backend, num_replicas, aggregate, rng,
-                 initial_lambdas, backend_options, method_options, **_):
+def _run_penalty(problem, *, config, backend, num_replicas, aggregate,
+                 restart, rng, initial_lambdas, backend_options,
+                 method_options, **_):
     # The classical fixed-penalty baseline: one programmed Hamiltonian,
     # num_iterations independent annealing runs, no multiplier loop.  It
     # is hard-wired to p-bit batch annealing, so reject knobs it would
@@ -518,6 +547,11 @@ def _run_penalty(problem, *, config, backend, num_replicas, aggregate, rng,
         raise ValueError(
             "the penalty method has no replica loop; its num_iterations "
             "already are independent annealing runs"
+        )
+    if restart != "random":
+        raise ValueError(
+            "the penalty method always restarts from random spins "
+            f"(got restart={restart!r})"
         )
     if initial_lambdas is not None:
         raise ValueError("the penalty method has no Lagrange multipliers")
@@ -693,11 +727,14 @@ def _run_exhaustive(problem, *, instance, method_options, **_):
 register_backend(
     "pbit", _pbit_builder,
     description="probabilistic-bit machine of paper Section III-B "
-                "(backend_options={'dtype': 'float32'} for the fast scan)",
+                "(backend_options={'dtype': 'float32'} for the fast scan, "
+                "{'kernel': 'serial'} for the pure-python R=1 reference)",
 )
 register_backend(
     "metropolis", _metropolis_builder,
-    description="single-flip Metropolis simulated annealing (dtype knob)",
+    description="single-flip Metropolis simulated annealing (dtype knob; "
+                "backend_options={'kernel': 'lockstep'} for the fast R=1 "
+                "systematic scan)",
 )
 register_backend(
     "quantized", _quantized_builder,
@@ -706,7 +743,9 @@ register_backend(
 register_backend(
     "chromatic", _chromatic_builder,
     description="graph-colored sparse p-bit arrays (per-color replica-batched "
-                "sweeps; backend_options={'storage': 'dense', 'dtype': ...})",
+                "sweeps; backend_options={'storage': 'dense'|'csr', "
+                "'dtype': ...} — storage auto-selected by coupling density "
+                "when omitted)",
 )
 register_backend(
     "pt", _pt_builder,

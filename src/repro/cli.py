@@ -89,6 +89,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="machine coefficient precision (float32 = the big-R fast "
              "scan; annealing methods only, default float64)",
     )
+    solve.add_argument(
+        "--restart", choices=("random", "warm"), default=None,
+        help="annealing restart policy per SAIM iteration: random fresh "
+             "spins (paper default) or warm (resume the previous "
+             "iteration's spins, solve-resident; annealing methods only)",
+    )
     solve.add_argument("--iterations", type=int, default=None,
                        help="SAIM iterations / penalty runs (default 150; "
                             "annealing methods only)")
@@ -292,10 +298,13 @@ def _solve_method(args, instance, kind) -> int:
         if replicas < 1:
             raise SystemExit(f"--replicas must be >= 1, got {replicas}")
         kwargs.update(backend=backend, num_replicas=replicas)
+        if args.restart is not None:
+            kwargs.update(restart=args.restart)
     else:
         for flag, value in (("--backend", args.backend),
                             ("--replicas", args.replicas),
                             ("--dtype", args.dtype),
+                            ("--restart", args.restart),
                             ("--iterations", args.iterations),
                             ("--mcs", args.mcs)):
             if value is not None:
@@ -358,6 +367,12 @@ def _solve(args) -> int:
                                                   "penalty"):
         raise SystemExit(
             f"--dtype selects an annealing-machine precision; "
+            f"--solver {args.solver} does not take it"
+        )
+    if args.restart is not None and args.solver in ("greedy", "exact", "ga",
+                                                    "penalty"):
+        raise SystemExit(
+            f"--restart selects a SAIM annealing restart policy; "
             f"--solver {args.solver} does not take it"
         )
 
@@ -454,6 +469,7 @@ def _solve(args) -> int:
         backend=backend,
         config=config,
         num_replicas=replicas,
+        restart=args.restart if args.restart is not None else "random",
         rng=args.seed,
     )
     print(f"SAIM penalty P = {result.penalty:.2f}, "

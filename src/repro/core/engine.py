@@ -47,6 +47,7 @@ from repro.ising.pbit import PBitMachine
 from repro.utils.rng import ensure_rng
 
 AGGREGATES = ("best", "mean")
+RESTARTS = ("random", "warm")
 
 
 class SaimEngine:
@@ -68,6 +69,21 @@ class SaimEngine:
         exposes ``set_fields(fields, offset)`` and either ``anneal_many``
         (the :class:`~repro.ising.backend.AnnealingBackend` protocol) or a
         serial ``anneal``.  Defaults to the p-bit machine of Section III-B.
+        ``set_fields`` must **copy** its argument: the engine reprograms
+        through one standing buffer that it overwrites every iteration (a
+        machine that stores the array by reference would see its fields
+        silently rewritten mid-solve).  All registered backends copy; the
+        contract is pinned in ``tests/ising/test_backend.py``.
+    restart:
+        Where each iteration's annealing replicas start: ``"random"``
+        (the paper — fresh uniform spins every run) or ``"warm"`` — each
+        run resumes from the previous iteration's final spins.  Warm
+        restarts make annealing state *solve-resident*: the lock-step
+        machines recognize the returning spins and reprogram their input
+        fields from the field delta instead of recomputing the
+        ``O(N^2 R)`` start-of-run matmul, and the anneal continues from an
+        already-low-energy state (the beta schedule still re-heats it each
+        iteration, which is what keeps the chain exploring).
     """
 
     def __init__(
@@ -76,6 +92,7 @@ class SaimEngine:
         num_replicas: int = 1,
         aggregate: str = "best",
         machine_factory=None,
+        restart: str = "random",
     ):
         if num_replicas < 1:
             raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
@@ -83,9 +100,14 @@ class SaimEngine:
             raise ValueError(
                 f"aggregate must be one of {AGGREGATES}, got {aggregate!r}"
             )
+        if restart not in RESTARTS:
+            raise ValueError(
+                f"restart must be one of {RESTARTS}, got {restart!r}"
+            )
         self.config = config if config is not None else SaimConfig()
         self.num_replicas = num_replicas
         self.aggregate = aggregate
+        self.restart = restart
         self.machine_factory = (
             machine_factory if machine_factory is not None else PBitMachine
         )
@@ -176,12 +198,23 @@ class SaimEngine:
         stall = 0
         k_ran = 0
 
+        # Per-iteration reprogramming is one matvec into one standing
+        # buffer: program_for computes fields and offset from a single
+        # A^T lambda product, and the machines copy on set_fields, so the
+        # loop allocates no field arrays.  With restart="warm" each run
+        # resumes from the previous one's final spins (solve-resident
+        # annealing); with "random" (the paper) every run starts fresh.
+        fields_buf = np.empty(lagrangian.num_spins)
+        initial = None
+
         for k in range(k_total):
             lambda_history[k] = lambdas
-            machine.set_fields(
-                lagrangian.fields_for(lambdas), lagrangian.offset_for(lambdas)
+            machine.set_fields(*lagrangian.program_for(lambdas, out=fields_buf))
+            batch = dispatch_anneal_many(
+                machine, schedule, replicas, initial=initial
             )
-            batch = dispatch_anneal_many(machine, schedule, replicas)
+            if self.restart == "warm":
+                initial = batch.last_samples
             # One coherent read-out view: with read_best the consumed samples
             # AND the energies that rank/trace them come from the per-replica
             # best, never mixed with the last-sweep arrays.

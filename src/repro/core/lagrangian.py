@@ -86,6 +86,11 @@ class LagrangianIsing:
         """Ising model of ``E(x)`` alone (``lambda = 0``)."""
         return IsingModel(self._coupling, self._base_fields.copy(), self._base_offset)
 
+    @property
+    def num_spins(self) -> int:
+        """Number of Ising spins (= binary variables of the encoded form)."""
+        return self._base_fields.size
+
     def fields_for(self, lambdas) -> np.ndarray:
         """Linear Ising fields ``h(lambda)``."""
         lambdas = self._check_lambdas(lambdas)
@@ -96,6 +101,36 @@ class LagrangianIsing:
         lambdas = self._check_lambdas(lambdas)
         shift = self._a.T @ lambdas
         return self._base_offset + float(shift.sum()) / 2.0 - float(lambdas @ self._b)
+
+    def program_for(self, lambdas, out=None) -> tuple[np.ndarray, float]:
+        """``(fields, offset)`` for ``lambda`` from a *single* matvec.
+
+        The per-iteration reprogramming call of Algorithm 1:
+        :meth:`fields_for` and :meth:`offset_for` each redo the same
+        ``A^T lambda`` product — this computes it once and derives both.
+        ``out`` (shape ``(num_spins,)``) receives the fields in place, so a
+        driver looping over multiplier updates can reuse one buffer and
+        allocate nothing per iteration (the returned array *is* ``out``
+        then; machines copy on ``set_fields``, so reuse is safe).
+        """
+        lambdas = self._check_lambdas(lambdas)
+        shift = self._a.T @ lambdas
+        offset = (
+            self._base_offset + float(shift.sum()) / 2.0
+            - float(lambdas @ self._b)
+        )
+        if out is None:
+            fields = self._base_fields - shift / 2.0
+        else:
+            if out.shape != self._base_fields.shape:
+                raise ValueError(
+                    f"out must have shape {self._base_fields.shape}, "
+                    f"got {out.shape}"
+                )
+            np.multiply(shift, -0.5, out=out)
+            out += self._base_fields
+            fields = out
+        return fields, offset
 
     def ising_for(self, lambdas) -> IsingModel:
         """Full Ising model of ``L(.; lambda)`` (couplings shared)."""

@@ -180,7 +180,12 @@ class AnnealingBackend(Protocol):
         ...
 
     def set_fields(self, fields, offset: float | None = None) -> None:
-        """Reprogram the linear fields ``h`` (and optionally the offset)."""
+        """Reprogram the linear fields ``h`` (and optionally the offset).
+
+        The caller keeps ownership of ``fields`` and may reuse the array
+        for the next reprogram (the SAIM engine loops one buffer), so
+        implementations must copy the values, never alias the argument.
+        """
         ...
 
     def anneal_many(
@@ -208,6 +213,19 @@ def batch_from_runs(runs) -> BatchAnnealResult:
     )
 
 
+def _accepts_initial(anneal) -> bool:
+    """Whether a serial ``anneal`` can take an ``initial`` keyword."""
+    import inspect
+
+    try:
+        parameters = inspect.signature(anneal).parameters
+    except (TypeError, ValueError):  # builtins/extensions: just try it
+        return True
+    return "initial" in parameters or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+
+
 def dispatch_anneal_many(
     machine, beta_schedule, num_replicas: int, initial=None
 ) -> BatchAnnealResult:
@@ -222,11 +240,18 @@ def dispatch_anneal_many(
     native = getattr(machine, "anneal_many", None)
     if callable(native):
         return native(beta_schedule, num_replicas, initial=initial)
+    if initial is not None and not _accepts_initial(machine.anneal):
+        # Minimal legacy contract: anneal(schedule) only.  Refuse up front
+        # rather than crashing the machine mid-solve with a TypeError (the
+        # engine's restart="warm" passes initial from iteration 2 on).
+        raise ValueError(
+            f"machine {type(machine).__name__} has a serial anneal() "
+            f"without an 'initial' parameter; it cannot start from given "
+            f"spins (restart='warm' needs initial-capable machines)"
+        )
     runs = []
     for r in range(num_replicas):
         if initial is None:
-            # Minimal legacy contract: anneal(schedule) only — don't pass
-            # kwargs a user machine may not accept.
             runs.append(machine.anneal(beta_schedule))
         else:
             runs.append(

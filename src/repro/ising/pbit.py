@@ -16,19 +16,26 @@ in the paper), and — exactly as in the paper — the *last* sample of a run is
 what the surrounding algorithm reads out.
 
 The machine implements the :class:`repro.ising.backend.AnnealingBackend`
-protocol; :meth:`PBitMachine.anneal_many` is the canonical entry point and
-dispatches between two kernels:
+protocol; :meth:`PBitMachine.anneal_many` is the canonical entry point.
+Every replica count — **including R = 1** — runs the lock-step
+speculative-block kernel of :mod:`repro.ising._lockstep`: the per-sweep
+noise is folded into per-update acceptance *thresholds* (one comparison per
+p-bit instead of a tanh per p-bit), within a block only the block-local
+couplings are corrected incrementally, and each block's accumulated flips
+hit the global input fields as a single BLAS matmul.  At R = 1 the
+threshold test ``I_i >= -atanh(u_i) / beta`` consumes the *same noise
+stream in the same order* as the historical per-spin python scan and is
+the exact algebraic rearrangement of eq. 10, so the trajectory is the
+same Gibbs chain — just computed by vectorized blocks instead of a python
+loop per spin.  ``kernel="serial"`` is the escape hatch back to that
+retired pure-python reference scan (useful for parity tests and as the
+ground-truth spelling of eq. 10).
 
-- ``R = 1`` — sequential Gibbs with incremental input-field updates (a flip
-  costs one row-AXPY, a non-flip costs O(1)).  This is the bit-exact
-  reference used inside SAIM; :meth:`PBitMachine.anneal` is its view.
-- ``R > 1`` — replicas advanced in lock-step, vectorized across runs with
-  block-deferred field updates: the per-sweep noise is folded into
-  per-update acceptance *thresholds* (one comparison per p-bit instead of a
-  tanh per p-bit), within a block only the block-local couplings are
-  corrected incrementally, and each block's accumulated flips hit the global
-  input fields as a single BLAS matmul.  Statistically equivalent to
-  repeated serial runs and substantially faster per replica.
+The expensive coupling-only preparation (contiguous dtype cast + block
+decomposition) is built once per machine as an
+:class:`repro.ising._lockstep.AnnealProgram` and reused across
+``set_fields`` calls — SAIM's K outer iterations reprogram fields into a
+standing program instead of paying the O(N^2) setup each time.
 
 The ``dtype`` knob selects the coefficient storage / scan precision
 (``"float64"`` default, ``"float32"`` for the big-R fast path); energies are
@@ -42,7 +49,7 @@ import math
 
 import numpy as np
 
-from repro.ising._lockstep import lockstep_anneal
+from repro.ising._lockstep import AnnealProgram, lockstep_anneal
 from repro.ising.backend import (
     AnnealResult,
     BatchAnnealResult,
@@ -71,13 +78,31 @@ class PBitMachine:
     dtype:
         Coefficient storage / batched-scan precision, ``"float64"`` or
         ``"float32"``.  All energy read-outs are float64 regardless.
+    kernel:
+        ``"lockstep"`` (default) — every replica count, R = 1 included,
+        runs the prepared-program block kernel; ``"serial"`` — R = 1 falls
+        back to the retired pure-python per-spin reference scan (R > 1 is
+        always lock-step).
     """
 
-    def __init__(self, model: IsingModel, rng=None, dtype=None):
+    KERNELS = ("lockstep", "serial")
+
+    def __init__(self, model: IsingModel, rng=None, dtype=None,
+                 kernel: str = "lockstep"):
+        if kernel not in self.KERNELS:
+            raise ValueError(
+                f"kernel must be one of {self.KERNELS}, got {kernel!r}"
+            )
         self._dtype = resolve_dtype(dtype)
         self._coupling = np.ascontiguousarray(model.coupling, dtype=self._dtype)
+        # Programmed lazily on first lock-step use, then kept for the
+        # machine's lifetime (the coupling never changes; SAIM only
+        # reprograms fields) — a kernel="serial" machine that never runs
+        # the block kernel skips the decomposition cost entirely.
+        self._program = None
         self._fields = np.asarray(model.fields, dtype=self._dtype).copy()
         self._offset = model.offset
+        self._kernel = kernel
         self._rng = ensure_rng(rng)
 
     @property
@@ -91,18 +116,37 @@ class PBitMachine:
         return self._dtype
 
     @property
+    def kernel(self) -> str:
+        """R = 1 kernel selection (``"lockstep"`` or ``"serial"``)."""
+        return self._kernel
+
+    @property
+    def program(self) -> AnnealProgram:
+        """The machine's standing :class:`AnnealProgram` (built on first
+        lock-step run; the cast coupling is shared, so the build cost is
+        the block decomposition only)."""
+        if self._program is None:
+            self._program = AnnealProgram(self._coupling, dtype=self._dtype)
+        return self._program
+
+    @property
     def model(self) -> IsingModel:
         """Current Hamiltonian (couplings shared, fields copied)."""
         return IsingModel(self._coupling, self._fields.copy(), self._offset)
 
     def set_fields(self, fields, offset: float | None = None) -> None:
-        """Reprogram the linear fields ``h`` (and optionally the offset)."""
-        fields = np.asarray(fields, dtype=float)
+        """Reprogram the linear fields ``h`` (and optionally the offset).
+
+        One cast, one copy: the values land directly in the machine-owned
+        buffer, so the caller keeps ownership of ``fields`` and may reuse
+        its array across calls (the engine does).
+        """
+        fields = np.asarray(fields)
         if fields.shape != self._fields.shape:
             raise ValueError(
                 f"fields must have shape {self._fields.shape}, got {fields.shape}"
             )
-        self._fields = fields.astype(self._dtype)
+        self._fields[...] = fields
         if offset is not None:
             self._offset = float(offset)
 
@@ -131,8 +175,10 @@ class PBitMachine:
         record_energy:
             Store per-sweep energies in ``energy_traces`` (``(R, sweeps)``).
 
-        ``R = 1`` runs the bit-exact sequential reference kernel; ``R > 1``
-        runs the vectorized lock-step kernel (statistically equivalent).
+        Every replica count runs the prepared-program lock-step kernel; a
+        machine built with ``kernel="serial"`` routes ``R = 1`` through the
+        retired pure-python reference scan instead (same chain, python
+        per-spin loop).
         """
         betas = np.asarray(beta_schedule, dtype=float)
         if betas.ndim != 1 or betas.size == 0:
@@ -151,7 +197,7 @@ class PBitMachine:
                     f"initial must have shape ({num_replicas}, {n}), "
                     f"got {states.shape}"
                 )
-        if num_replicas == 1:
+        if num_replicas == 1 and self._kernel == "serial":
             run = self._anneal_serial(betas, states[0], record_energy)
             return batch_from_runs([run])
         return self._anneal_vectorized(betas, states, record_energy)
@@ -253,7 +299,7 @@ class PBitMachine:
         spins, energies, best_spins, best_energies, traces = lockstep_anneal(
             self._coupling, self._fields, self._offset, betas, states,
             thresholds_for, decide, record_energy=record_energy,
-            dtype=self._dtype,
+            dtype=self._dtype, program=self.program,
         )
         return BatchAnnealResult(
             last_samples=spins.T.copy(),

@@ -71,13 +71,17 @@ class PTMachine:
         return IsingModel(self._coupling, self._fields.copy(), self._offset)
 
     def set_fields(self, fields, offset: float | None = None) -> None:
-        """Reprogram the linear fields (and optionally the offset)."""
-        fields = np.asarray(fields, dtype=float)
+        """Reprogram the linear fields (and optionally the offset).
+
+        One cast, one copy, into the machine-owned buffer (the caller may
+        reuse its ``fields`` array across calls).
+        """
+        fields = np.asarray(fields)
         if fields.shape != self._fields.shape:
             raise ValueError(
                 f"fields must have shape {self._fields.shape}, got {fields.shape}"
             )
-        self._fields = fields.astype(self._dtype)
+        self._fields[...] = fields
         if offset is not None:
             self._offset = float(offset)
 

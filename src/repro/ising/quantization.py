@@ -99,7 +99,8 @@ class QuantizedPBitMachine(PBitMachine):
     samples the quantized Hamiltonian exactly like the serial one.
     """
 
-    def __init__(self, model: IsingModel, bits: int, rng=None, dtype=None):
+    def __init__(self, model: IsingModel, bits: int, rng=None, dtype=None,
+                 kernel: str = "lockstep"):
         self._spec = QuantizationSpec(bits)
         self._full_scale = max(
             float(np.max(np.abs(model.coupling))) if model.coupling.size else 0.0,
@@ -107,7 +108,9 @@ class QuantizedPBitMachine(PBitMachine):
         )
         if self._full_scale == 0.0:
             self._full_scale = 1.0
-        super().__init__(quantize_ising(model, bits), rng=rng, dtype=dtype)
+        super().__init__(
+            quantize_ising(model, bits), rng=rng, dtype=dtype, kernel=kernel
+        )
 
     @property
     def bits(self) -> int:

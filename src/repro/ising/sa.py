@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.ising._lockstep import lockstep_anneal
+from repro.ising._lockstep import AnnealProgram, lockstep_anneal
 from repro.ising.backend import BatchAnnealResult, batch_from_runs, resolve_dtype
 from repro.ising.energy import ising_energy
 from repro.ising.model import IsingModel
@@ -48,15 +48,32 @@ class MetropolisMachine:
     sweep); the vectorized ``R > 1`` path uses systematic scan order shared
     by all replicas (the p-bit machine's sweep style) so replicas stay in
     lock-step — both are valid Metropolis chains with the same stationary
-    distribution.  ``dtype`` selects the coefficient storage / batched-scan
-    precision (energies stay float64-accumulated).
+    distribution.  ``kernel`` selects the ``R = 1`` path: ``"serial"``
+    (default — the historical random-scan reference) or ``"lockstep"``
+    (the prepared-program block kernel, i.e. the systematic-scan chain the
+    R > 1 path runs; substantially faster at large N).  The coupling's
+    block decomposition is programmed once per machine as an
+    :class:`repro.ising._lockstep.AnnealProgram` and reused across
+    ``set_fields`` calls.  ``dtype`` selects the coefficient storage /
+    batched-scan precision (energies stay float64-accumulated).
     """
 
-    def __init__(self, model: IsingModel, rng=None, dtype=None):
+    KERNELS = ("serial", "lockstep")
+
+    def __init__(self, model: IsingModel, rng=None, dtype=None,
+                 kernel: str = "serial"):
+        if kernel not in self.KERNELS:
+            raise ValueError(
+                f"kernel must be one of {self.KERNELS}, got {kernel!r}"
+            )
         self._dtype = resolve_dtype(dtype)
         self._coupling = np.ascontiguousarray(model.coupling, dtype=self._dtype)
+        # Programmed lazily on first lock-step use (the default serial R=1
+        # chain never needs the block decomposition).
+        self._program = None
         self._fields = np.asarray(model.fields, dtype=self._dtype).copy()
         self._offset = model.offset
+        self._kernel = kernel
         self._rng = ensure_rng(rng)
 
     @property
@@ -74,14 +91,31 @@ class MetropolisMachine:
         """Current Hamiltonian."""
         return IsingModel(self._coupling, self._fields.copy(), self._offset)
 
+    @property
+    def kernel(self) -> str:
+        """R = 1 kernel selection (``"serial"`` or ``"lockstep"``)."""
+        return self._kernel
+
+    @property
+    def program(self) -> AnnealProgram:
+        """The machine's standing :class:`AnnealProgram` (built on first
+        lock-step run)."""
+        if self._program is None:
+            self._program = AnnealProgram(self._coupling, dtype=self._dtype)
+        return self._program
+
     def set_fields(self, fields, offset: float | None = None) -> None:
-        """Reprogram the linear fields (and optionally the offset)."""
-        fields = np.asarray(fields, dtype=float)
+        """Reprogram the linear fields (and optionally the offset).
+
+        One cast, one copy, into the machine-owned buffer (the caller may
+        reuse its ``fields`` array across calls).
+        """
+        fields = np.asarray(fields)
         if fields.shape != self._fields.shape:
             raise ValueError(
                 f"fields must have shape {self._fields.shape}, got {fields.shape}"
             )
-        self._fields = fields.astype(self._dtype)
+        self._fields[...] = fields
         if offset is not None:
             self._offset = float(offset)
 
@@ -101,10 +135,11 @@ class MetropolisMachine:
     ) -> BatchAnnealResult:
         """Anneal ``num_replicas`` independent Metropolis replicas.
 
-        ``R = 1`` delegates to the serial random-scan reference; ``R > 1``
-        runs the lock-step vectorized kernel (systematic scan, speculative
-        block decisions — see :mod:`repro.ising.pbit` for the scheme, here
-        with the Metropolis acceptance rule ``m_i I_i < -log(u) / 2 beta``).
+        ``R = 1`` delegates to the serial random-scan reference (unless the
+        machine was built with ``kernel="lockstep"``); ``R > 1`` runs the
+        lock-step vectorized kernel (systematic scan, speculative block
+        decisions — see :mod:`repro.ising.pbit` for the scheme, here with
+        the Metropolis acceptance rule ``m_i I_i < -log(u) / 2 beta``).
         ``record_energy`` stores per-sweep traces in ``energy_traces``.
         """
         betas = np.asarray(beta_schedule, dtype=float)
@@ -124,7 +159,7 @@ class MetropolisMachine:
                     f"initial must have shape ({num_replicas}, {n}), "
                     f"got {states.shape}"
                 )
-        if num_replicas == 1:
+        if num_replicas == 1 and self._kernel == "serial":
             run = simulated_annealing(
                 self.model, betas, rng=self._rng, initial=states[0],
                 record_energy=record_energy,
@@ -154,6 +189,7 @@ class MetropolisMachine:
             self._coupling, self._fields, self._offset,
             betas, states, thresholds_for, decide,
             record_energy=record_energy, dtype=self._dtype,
+            program=self.program,
         )
         return BatchAnnealResult(
             last_samples=spins.T.copy(),

@@ -80,6 +80,21 @@ class SparseIsingModel:
         return graph
 
 
+#: Coupling-graph density (off-diagonal nonzeros / possible off-diagonal
+#: entries) at and above which the chromatic machine auto-selects dense
+#: per-color row blocks: contiguous BLAS beats CSR once a quarter of the
+#: possible edges exist (CSR's index indirection stops paying for itself).
+DENSE_STORAGE_DENSITY = 0.25
+
+
+def coupling_density(model: SparseIsingModel) -> float:
+    """Fraction of possible off-diagonal couplings that are nonzero."""
+    n = model.num_spins
+    if n < 2:
+        return 0.0
+    return model.coupling.nnz / float(n * (n - 1))
+
+
 def greedy_coloring(model: SparseIsingModel) -> list[np.ndarray]:
     """Color the coupling graph; returns one index array per color class.
 
@@ -125,18 +140,34 @@ class ChromaticPBitMachine:
         from the canonical couplings, so read-outs stay exact.
     storage:
         Layout of the per-color coupling row blocks: ``"csr"`` (sparse
-        matmuls; right for genuinely sparse graphs) or ``"dense"``
-        (contiguous BLAS blocks; faster when the adjacency is dense-ish).
-        Both layouts run the identical update rule on the identical noise
-        stream — on integer-weight models they are bit-identical.
+        matmuls; right for genuinely sparse graphs), ``"dense"``
+        (contiguous BLAS blocks; faster when the adjacency is dense-ish),
+        or ``None`` / ``"auto"`` (the default) — pick by the coupling
+        graph's density: dense row blocks at
+        :data:`DENSE_STORAGE_DENSITY` and above, CSR below.  Both layouts
+        run the identical update rule on the identical noise stream — on
+        integer-weight models they are bit-identical.
     """
 
-    def __init__(self, model, rng=None, dtype=None, storage: str = "csr"):
+    def __init__(self, model, rng=None, dtype=None, storage: str | None = None):
         if not isinstance(model, SparseIsingModel):
             model = SparseIsingModel.from_dense(model)
+        if storage in (None, "auto"):
+            storage = (
+                "dense"
+                if coupling_density(model) >= DENSE_STORAGE_DENSITY
+                else "csr"
+            )
         if storage not in ("csr", "dense"):
-            raise ValueError(f"storage must be 'csr' or 'dense', got {storage!r}")
-        self._model = model
+            raise ValueError(
+                f"storage must be 'csr', 'dense', 'auto' or None, "
+                f"got {storage!r}"
+            )
+        # Private fields buffer: set_fields reprograms it in place, so it
+        # must never alias the caller's array.
+        self._model = SparseIsingModel(
+            model.coupling, model.fields.copy(), model.offset
+        )
         self._dtype = resolve_dtype(dtype)
         self._storage = storage
         self._colors = greedy_coloring(model)
@@ -159,7 +190,7 @@ class ChromaticPBitMachine:
 
     @classmethod
     def from_dense(cls, model, rng=None, dtype=None,
-                   storage: str = "csr") -> "ChromaticPBitMachine":
+                   storage: str | None = None) -> "ChromaticPBitMachine":
         """Build from a dense :class:`repro.ising.model.IsingModel`."""
         return cls(
             SparseIsingModel.from_dense(model), rng=rng, dtype=dtype,
@@ -194,14 +225,18 @@ class ChromaticPBitMachine:
         )
 
     def set_fields(self, fields, offset: float | None = None) -> None:
-        """Reprogram the linear fields ``h`` (and optionally the offset)."""
-        fields = np.asarray(fields, dtype=float)
+        """Reprogram the linear fields ``h`` (and optionally the offset).
+
+        One cast, one copy, into the model-owned buffer (the caller may
+        reuse its ``fields`` array across calls).
+        """
+        fields = np.asarray(fields)
         if fields.shape != self._model.fields.shape:
             raise ValueError(
                 f"fields must have shape {self._model.fields.shape}, "
                 f"got {fields.shape}"
             )
-        self._model.fields = fields.copy()
+        self._model.fields[...] = fields
         if offset is not None:
             self._model.offset = float(offset)
 

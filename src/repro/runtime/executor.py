@@ -75,6 +75,7 @@ class SolveJob:
     config: object = None
     num_replicas: int = 1
     aggregate: str = "best"
+    restart: str = "random"
     rng: object = None
     initial_lambdas: object = None
     backend_options: dict | None = None
@@ -184,6 +185,7 @@ def _execute_job(index: int, job: SolveJob) -> JobOutcome:
             config=job.config,
             num_replicas=job.num_replicas,
             aggregate=job.aggregate,
+            restart=job.restart,
             rng=job.rng,
             initial_lambdas=job.initial_lambdas,
             backend_options=job.backend_options,

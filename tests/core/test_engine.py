@@ -39,9 +39,15 @@ class TestEngineValidation:
 class TestSerialGoldenParity:
     """Pinned against the legacy serial solver on a fixed seed.
 
-    These exact values were produced by the pre-refactor
-    ``SelfAdaptiveIsingMachine`` on this instance/seed; the engine's
-    ``num_replicas=1`` path must keep reproducing them bit-for-bit.
+    The cost/lambda/feasibility values were produced by the pre-engine
+    ``SelfAdaptiveIsingMachine`` loop on this instance/seed, and the
+    engine's ``num_replicas=1`` path — now the prepared-program lock-step
+    kernel — must keep reproducing them bit-for-bit (same noise stream,
+    same Gibbs chain).  The *energy* pin is the one value allowed to move
+    when the kernel's accumulation changes: the lock-step kernel recomputes
+    per-sweep energies with a float64 einsum over maintained inputs, which
+    rounds the last bit differently than the retired kernel's incremental
+    updates (the samples those energies describe are identical).
     """
 
     @pytest.fixture(scope="class")
@@ -59,7 +65,7 @@ class TestSerialGoldenParity:
 
     def test_trace_costs_and_energies(self, result):
         assert float(result.trace.sample_costs.sum()) == -45773.0
-        assert float(result.trace.energies.sum()) == -683.0732467131298
+        assert float(result.trace.energies.sum()) == -683.0732467131296
 
     def test_feasibility_pattern(self, result):
         assert result.trace.feasible.astype(int).tolist() == [

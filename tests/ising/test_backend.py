@@ -119,6 +119,20 @@ class TestBatchResultContract:
             )
 
     @pytest.mark.parametrize("name", BACKENDS)
+    def test_set_fields_copies_never_aliases(self, name):
+        """The caller owns its fields array (the engine reuses one buffer
+        across iterations), so a machine must copy on ``set_fields`` —
+        mutating the array afterwards must not leak into the machine."""
+        machine = _machine(name)
+        fields = np.linspace(-1.0, 1.0, N)
+        machine.set_fields(fields, offset=0.0)
+        programmed = np.asarray(machine.model.fields, dtype=float).copy()
+        fields[:] = 1e6  # caller reuses the buffer for something else
+        np.testing.assert_array_equal(
+            np.asarray(machine.model.fields, dtype=float), programmed
+        )
+
+    @pytest.mark.parametrize("name", BACKENDS)
     @pytest.mark.parametrize("dtype", DTYPES)
     @pytest.mark.parametrize("replicas", [1, 8, 128])
     def test_shape_contract_at_any_replica_count(self, name, dtype, replicas):

@@ -7,12 +7,91 @@ from scipy import sparse as sp
 from repro.core.schedule import linear_beta_schedule
 from repro.ising.exhaustive import brute_force_ground_state
 from repro.ising.sparse import (
+    DENSE_STORAGE_DENSITY,
     ChromaticPBitMachine,
     SparseIsingModel,
+    coupling_density,
     greedy_coloring,
     random_sparse_ising,
 )
 from tests.helpers import random_ising
+
+
+def _model_with_density(n: int, density: float) -> SparseIsingModel:
+    """Sparse model whose coupling density is exactly ``density``.
+
+    Fills the first ``round(density * n * (n - 1) / 2)`` upper-triangle
+    slots row by row, then symmetrizes.
+    """
+    num_edges = int(round(density * n * (n - 1) / 2))
+    rows, cols = [], []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if len(rows) // 2 >= num_edges:
+                break
+            rows.extend((i, j))
+            cols.extend((j, i))
+    data = np.ones(len(rows))
+    coupling = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+    return SparseIsingModel(coupling, np.zeros(n))
+
+
+class TestStorageAutoSelection:
+    """storage=None picks the per-color layout by coupling density."""
+
+    def test_coupling_density_measures_offdiagonal_fill(self):
+        model = _model_with_density(16, 0.5)
+        assert coupling_density(model) == pytest.approx(0.5)
+        assert coupling_density(_model_with_density(16, 0.0)) == 0.0
+
+    def test_cutover_at_dense_storage_density(self):
+        """The cutover sits exactly at DENSE_STORAGE_DENSITY (0.25)."""
+        n = 33  # n*(n-1)/2 = 528 edges; 0.25 is exactly representable
+        below = ChromaticPBitMachine(
+            _model_with_density(n, DENSE_STORAGE_DENSITY - 0.05), rng=0
+        )
+        at = ChromaticPBitMachine(
+            _model_with_density(n, DENSE_STORAGE_DENSITY), rng=0
+        )
+        above = ChromaticPBitMachine(
+            _model_with_density(n, DENSE_STORAGE_DENSITY + 0.05), rng=0
+        )
+        assert below.storage == "csr"
+        assert at.storage == "dense"
+        assert above.storage == "dense"
+
+    def test_sparse_graph_auto_selects_csr(self):
+        machine = ChromaticPBitMachine(random_sparse_ising(40, degree=3, rng=1))
+        assert machine.storage == "csr"
+
+    def test_dense_problem_auto_selects_dense(self):
+        machine = ChromaticPBitMachine.from_dense(random_ising(20, rng=2))
+        assert machine.storage == "dense"
+
+    def test_explicit_storage_overrides_heuristic(self):
+        dense_model = SparseIsingModel.from_dense(random_ising(20, rng=3))
+        assert ChromaticPBitMachine(dense_model, storage="csr").storage == "csr"
+        sparse_model = random_sparse_ising(40, degree=3, rng=4)
+        assert (
+            ChromaticPBitMachine(sparse_model, storage="dense").storage
+            == "dense"
+        )
+        assert ChromaticPBitMachine(sparse_model, storage="auto").storage == "csr"
+
+    def test_bad_storage_rejected(self):
+        with pytest.raises(ValueError):
+            ChromaticPBitMachine(random_sparse_ising(10, rng=5), storage="coo")
+
+    def test_auto_layouts_anneal_identically_on_integer_weights(self):
+        """The heuristic only picks a layout — never a different chain."""
+        model = _model_with_density(24, 0.3)  # auto would pick dense
+        schedule = linear_beta_schedule(3.0, 25)
+        auto = ChromaticPBitMachine(model, rng=9).anneal_many(schedule, 4)
+        csr = ChromaticPBitMachine(model, rng=9, storage="csr").anneal_many(
+            schedule, 4
+        )
+        np.testing.assert_array_equal(auto.last_samples, csr.last_samples)
+        np.testing.assert_array_equal(auto.last_energies, csr.last_energies)
 
 
 class TestSparseIsingModel:

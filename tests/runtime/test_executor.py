@@ -74,6 +74,17 @@ class TestInProcessFallback:
                 result.trace.sample_costs, direct.trace.sample_costs
             )
 
+    def test_restart_knob_forwarded(self):
+        """SolveJob.restart reaches the engine (warm == direct warm solve)."""
+        instance = generate_qkp(12, 0.5, rng=2)
+        job = SolveJob(problem=instance, config=FAST, rng=4, restart="warm")
+        report = solve_many([job], max_workers=1)
+        direct = repro.solve(instance, config=FAST, rng=4, restart="warm")
+        assert report.results[0].best_cost == direct.best_cost
+        np.testing.assert_array_equal(
+            report.results[0].trace.sample_costs, direct.trace.sample_costs
+        )
+
     def test_accepts_unpicklable_rng_in_process(self):
         job = SolveJob(problem=tiny_knapsack_problem(), config=FAST,
                        rng=np.random.default_rng(3))
