@@ -8,9 +8,11 @@ in ``benchmarks/output/`` for EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+REPO_ROOT = Path(__file__).parent.parent
 
 # Reference values transcribed from the paper (averages of each table).
 PAPER = {
@@ -35,6 +37,25 @@ PAPER = {
     "fig4a_median": {100: 99.8, 200: 99.2, 300: 99.2},
     "fig4b_mcs": {"SAIM": 2e6, "Best SA": 200e6, "HE-IM": 19.5e9, "PT-DA": 15e9},
 }
+
+
+def archive_bench_json(name: str, report: dict) -> Path:
+    """Write ``BENCH_<name>.json`` to ``benchmarks/output/`` (archived per
+    run, gitignored) and, at smoke scale, mirror it to the repo root.
+
+    The root copies are the committed perf trajectory: ``benchmarks/output/``
+    never reaches the repository, so without the mirror the numbers quoted
+    in EXPERIMENTS.md would be unreproducible hearsay.  Only the smoke-sized
+    records are mirrored — they run anywhere in seconds, so a stale root
+    copy is always one ``--smoke`` invocation away from fresh.
+    """
+    text = json.dumps(report, indent=2) + "\n"
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    out_path = OUTPUT_DIR / f"BENCH_{name}.json"
+    out_path.write_text(text)
+    if report.get("scale") == "smoke":
+        (REPO_ROOT / f"BENCH_{name}.json").write_text(text)
+    return out_path
 
 
 def archive(name: str, text: str) -> None:

@@ -31,7 +31,6 @@ or through pytest-benchmark::
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import time
@@ -40,7 +39,7 @@ from pathlib import Path
 import numpy as np
 
 sys.path.insert(0, str(Path(__file__).parent))
-from _common import OUTPUT_DIR  # noqa: E402
+from _common import archive_bench_json  # noqa: E402
 
 from repro.core.lagrangian import saim_lagrangian  # noqa: E402
 from repro.core.schedule import linear_beta_schedule  # noqa: E402
@@ -162,9 +161,7 @@ def run_bigR_kernels(scale: str | None = None) -> dict:
         "records": records,
         "summary": summary,
     }
-    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
-    out_path = OUTPUT_DIR / "BENCH_bigR_kernels.json"
-    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    out_path = archive_bench_json("bigR_kernels", report)
 
     print(f"\nBig-R kernel grid ({scale} scale, {schedule.size} sweeps/run, "
           f"{_cpu_count()} CPUs):")

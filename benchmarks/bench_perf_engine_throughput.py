@@ -19,7 +19,6 @@ or through pytest-benchmark like the other benches::
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import time
@@ -27,7 +26,7 @@ from pathlib import Path
 
 
 sys.path.insert(0, str(Path(__file__).parent))
-from _common import OUTPUT_DIR  # noqa: E402
+from _common import archive_bench_json  # noqa: E402
 
 from repro.core.engine import SaimEngine  # noqa: E402
 from repro.core.lagrangian import saim_lagrangian  # noqa: E402
@@ -144,9 +143,7 @@ def run_throughput(scale: str | None = None) -> dict:
         "num_sweeps": num_sweeps,
         "records": records,
     }
-    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
-    out_path = OUTPUT_DIR / "BENCH_engine_throughput.json"
-    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    out_path = archive_bench_json("engine_throughput", report)
 
     print(f"\nReplica throughput on {model.num_spins}-spin QKP Lagrangian "
           f"({scale} scale, {num_sweeps} sweeps/run):")

@@ -38,7 +38,6 @@ or through pytest-benchmark::
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import time
@@ -47,7 +46,7 @@ from pathlib import Path
 import numpy as np
 
 sys.path.insert(0, str(Path(__file__).parent))
-from _common import OUTPUT_DIR  # noqa: E402
+from _common import archive_bench_json  # noqa: E402
 
 import repro  # noqa: E402
 from repro.core.lagrangian import saim_lagrangian  # noqa: E402
@@ -198,9 +197,7 @@ def run_outer_loop(scale: str | None = None) -> dict:
         "records": records,
         "summary": summary,
     }
-    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
-    out_path = OUTPUT_DIR / "BENCH_outer_loop.json"
-    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    out_path = archive_bench_json("outer_loop", report)
 
     print(f"\nSAIM outer-loop grid ({scale} scale, K={iterations}, "
           f"{mcs} MCS/run, {_cpu_count()} CPUs):")

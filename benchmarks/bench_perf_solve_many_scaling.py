@@ -22,14 +22,13 @@ only arms when >= 4 CPUs are available (as on the CI runners).
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
-from _common import OUTPUT_DIR  # noqa: E402
+from _common import archive_bench_json  # noqa: E402
 
 from repro.core.saim import SaimConfig  # noqa: E402
 from repro.problems.generators import generate_qkp  # noqa: E402
@@ -119,9 +118,7 @@ def run_scaling(scale: str | None = None) -> dict:
         "num_jobs": len(jobs),
         "records": records,
     }
-    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
-    out_path = OUTPUT_DIR / "BENCH_solve_many_scaling.json"
-    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    out_path = archive_bench_json("solve_many_scaling", report)
 
     print(f"\nsolve_many scaling on {len(jobs)} QKP jobs "
           f"({scale} scale, {available_cpus()} CPUs available):")

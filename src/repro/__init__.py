@@ -41,6 +41,7 @@ from repro.api import (
     register_backend,
     register_method,
     solve,
+    solve_fleet,
 )
 from repro.runtime import (
     JobOutcome,
@@ -49,6 +50,8 @@ from repro.runtime import (
     SolveManyReport,
     SolveManyStats,
     SolverSession,
+    fleet_jobs,
+    fused_blockers,
     iter_solve_many,
     solve_many,
 )
@@ -59,6 +62,7 @@ from repro.core import (
     SaimResult,
     SolveReport,
     SaimEngine,
+    FleetEngine,
     SelfAdaptiveIsingMachine,
     build_penalty_qubo,
     density_heuristic_penalty,
@@ -74,6 +78,7 @@ from repro.ising import (
     IsingModel,
     QuboModel,
     PBitMachine,
+    FleetMachine,
     simulated_annealing,
     parallel_tempering,
     brute_force_ground_state,
@@ -89,7 +94,7 @@ from repro.problems import (
     paper_mkp_instance,
 )
 
-__version__ = "2.2.0"
+__version__ = "2.3.0"
 
 # The sweep drivers live under repro.analysis, whose package import pulls in
 # the whole experiment harness; resolve them lazily so `import repro` (and
@@ -109,7 +114,10 @@ def __getattr__(name):
 
 __all__ = [
     "solve",
+    "solve_fleet",
     "solve_many",
+    "fleet_jobs",
+    "fused_blockers",
     "iter_solve_many",
     "SolveJob",
     "JobOutcome",
@@ -138,6 +146,7 @@ __all__ = [
     "SaimConfig",
     "SaimResult",
     "SaimEngine",
+    "FleetEngine",
     "SelfAdaptiveIsingMachine",
     "build_penalty_qubo",
     "density_heuristic_penalty",
@@ -149,6 +158,7 @@ __all__ = [
     "IsingModel",
     "QuboModel",
     "PBitMachine",
+    "FleetMachine",
     "simulated_annealing",
     "parallel_tempering",
     "brute_force_ground_state",

@@ -173,7 +173,8 @@ class BackendSweep(ParameterSweep):
         (e.g. ``{"ga": {"num_children": 5000}}``).
     """
 
-    METRICS = ("best_cost", "feasible_pct", "total_mcs", "seconds")
+    METRICS = ("best_cost", "feasible_pct", "total_mcs", "seconds",
+               "strategy")
 
     def __init__(
         self,
@@ -261,22 +262,32 @@ class BackendSweep(ParameterSweep):
         return [self._job_for(params) for params in self.grid_points()]
 
     def run(self, max_workers: int = 1, progress=None,
-            raise_on_error: bool = True) -> list[SweepPoint]:
+            raise_on_error: bool = True,
+            strategy: str = "process") -> list[SweepPoint]:
         """Run the grid through the sharded executor; points in grid order.
 
         With ``raise_on_error=False`` a failed grid point becomes a row of
-        NaN metrics instead of aborting the sweep.
+        NaN metrics instead of aborting the sweep.  ``strategy`` selects
+        the executor path (``"process"``, ``"fused"``, or ``"auto"`` — see
+        :func:`repro.runtime.solve_many`); the resolved choice is rendered
+        as the table's ``strategy`` column.  ``"fused"`` requires a
+        single-cell annealing grid (one method × one backend × one replica
+        count over many seeds is the fleet shape; a heterogeneous grid is
+        not shareable).
         """
         from repro.runtime.executor import solve_many
 
         report = solve_many(
             self.jobs(), max_workers=max_workers, progress=progress,
-            raise_on_error=raise_on_error,
+            raise_on_error=raise_on_error, strategy=strategy,
         )
+        resolved = report.stats.strategy
         return [
             SweepPoint(
                 params=params,
-                metrics=self._metrics(outcome.result, outcome.seconds),
+                metrics=self._metrics(
+                    outcome.result, outcome.seconds, resolved
+                ),
             )
             for params, outcome in zip(self.grid_points(), report.outcomes)
         ]
@@ -290,10 +301,10 @@ class BackendSweep(ParameterSweep):
             {"method": method, "backend": backend, "replicas": replicas}
         )
         (outcome,) = solve_many([job], max_workers=1).outcomes
-        return self._metrics(outcome.result, outcome.seconds)
+        return self._metrics(outcome.result, outcome.seconds, "process")
 
     @staticmethod
-    def _metrics(result, seconds: float) -> dict:
+    def _metrics(result, seconds: float, strategy: str) -> dict:
         feasible = getattr(result, "feasible_ratio", None)
         return {
             "best_cost": (
@@ -306,6 +317,7 @@ class BackendSweep(ParameterSweep):
             ),
             "total_mcs": int(getattr(result, "total_mcs", 0) or 0),
             "seconds": float(seconds),
+            "strategy": strategy,
         }
 
 
@@ -331,6 +343,7 @@ def sweep_backends(
     title: str | None = None,
     progress=None,
     raise_on_error: bool = True,
+    strategy: str = "process",
     **kwargs,
 ) -> BackendSweepReport:
     """One-call method × backend comparison through the sharded executor.
@@ -347,7 +360,7 @@ def sweep_backends(
         problem, backends, replicas=replicas, methods=methods, **kwargs
     )
     points = sweep.run(max_workers=max_workers, progress=progress,
-                       raise_on_error=raise_on_error)
+                       raise_on_error=raise_on_error, strategy=strategy)
     if title is None:
         name = getattr(problem, "name", "") or "problem"
         title = f"Backend sweep on {name} ({max_workers} workers)"

@@ -360,6 +360,106 @@ def solve(
     return report
 
 
+def solve_fleet(
+    problems,
+    backend: str | None = None,
+    *,
+    config=None,
+    num_replicas: int = 1,
+    aggregate: str = "best",
+    restart: str = "random",
+    rng=None,
+    initial_lambdas=None,
+    backend_options: dict | None = None,
+    **config_overrides,
+) -> list[SolveReport]:
+    """Solve ``B`` problems with ONE fused annealing kernel call per SAIM
+    iteration; returns one :class:`~repro.core.report.SolveReport` each.
+
+    The fleet path packs all instances into a block-diagonal lock-step scan
+    (:mod:`repro.ising.fleet`), which amortises the numpy dispatch overhead
+    that dominates at small N — the single-core alternative to
+    ``solve_many``'s process pool.  Per instance, the result is **exactly**
+    what ``repro.solve(problems[b], rng=spawn_rngs(rng, B)[b])`` returns:
+    the per-instance chains are bit-identical to standalone machines on the
+    same spawned streams.
+
+    Parameters mirror :func:`solve` where they apply.  The fused kernel is
+    the p-bit machine, so ``backend`` must be ``None`` or ``"pbit"`` (run
+    other backends through ``solve_many(strategy="process")``);
+    ``backend_options`` accepts the ``dtype`` knob only, and ``restart``
+    must be ``"random"`` (the paper's).  ``rng`` may be a seed-like (one
+    child stream is spawned per instance) or an explicit list of ``B``
+    generators; ``initial_lambdas`` is ``None`` or one entry per instance.
+    ``wall_seconds`` on each report is the fleet wall time divided evenly
+    across instances (the fused call is indivisible).
+    """
+    from repro.core.fleet_engine import FleetEngine
+    from repro.ising.backend import resolve_dtype
+
+    problems = list(problems)
+    if backend is not None and backend != "pbit":
+        backend_info(backend)  # unknown names fail with the available list
+        raise ValueError(
+            f"solve_fleet runs the fused p-bit kernel; backend must be "
+            f"None or 'pbit', got {backend!r} (use "
+            f"solve_many(strategy='process') for other backends)"
+        )
+    options = dict(backend_options or {})
+    option_dtype = options.pop("dtype", None)
+    if options:
+        raise ValueError(
+            f"solve_fleet backend_options accepts 'dtype' only, got "
+            f"{sorted(options)}"
+        )
+    resolved = _build_config(config, config_overrides)
+    if (
+        option_dtype is not None
+        and resolved.dtype is not None
+        and resolve_dtype(option_dtype) != resolve_dtype(resolved.dtype)
+    ):
+        raise ValueError(
+            f"conflicting dtypes: SaimConfig(dtype={resolved.dtype!r}) vs "
+            f"backend_options dtype {option_dtype!r}; pass one spelling"
+        )
+    if option_dtype is not None and resolved.dtype is None:
+        resolved = replace(resolved, dtype=option_dtype)
+
+    instances = list(problems)
+    problems = [
+        p.to_problem() if hasattr(p, "to_problem") else p for p in problems
+    ]
+    engine = FleetEngine(
+        resolved, num_replicas=num_replicas, aggregate=aggregate,
+        restart=restart,
+    )
+    start = time.perf_counter()
+    results = engine.solve_fleet(
+        problems, rng=rng, initial_lambdas=initial_lambdas
+    )
+    wall = time.perf_counter() - start
+    share = wall / len(results) if results else 0.0
+
+    reports = []
+    for instance, problem, result in zip(instances, problems, results):
+        name = getattr(instance, "name", "") or getattr(problem, "name", "")
+        report = SolveReport(
+            method="saim",
+            backend="pbit",
+            best_x=result.best_x,
+            best_cost=result.best_cost,
+            feasible=result.found_feasible,
+            num_iterations=result.num_iterations,
+            detail=result,
+            num_replicas=result.num_replicas,
+            total_mcs=result.total_mcs,
+            problem_name=name,
+        )
+        report.wall_seconds = share
+        reports.append(report)
+    return reports
+
+
 # --------------------------------------------------------------------------
 # Default backend builders.
 #

@@ -130,6 +130,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="worker processes for the solve_many executor",
     )
+    sweep.add_argument(
+        "--strategy", choices=("process", "fused", "auto"), default="process",
+        help="executor strategy: 'fused' packs the grid into one "
+             "block-diagonal fleet anneal (single-cell SAIM/pbit grids "
+             "only); 'auto' fuses when the grid is shareable and small",
+    )
     sweep.add_argument("--iterations", type=int, default=150,
                        help="SAIM iterations per grid point")
     sweep.add_argument("--mcs", type=int, default=400, help="MCS per run")
@@ -250,10 +256,15 @@ def _sweep(args) -> int:
         print(f"  [{done['count']}/{total}] {outcome.job.tag}: {status} "
               f"({outcome.seconds:.2f}s)")
 
-    points = sweep.run(
-        max_workers=args.workers, progress=progress,
-        raise_on_error=False,  # failed cells become NaN rows, not a crash
-    )
+    try:
+        points = sweep.run(
+            max_workers=args.workers, progress=progress,
+            raise_on_error=False,  # failed cells become NaN rows, not a crash
+            strategy=args.strategy,
+        )
+    except ValueError as exc:
+        # strategy='fused' on a non-shareable grid: surface the blockers.
+        raise SystemExit(str(exc)) from None
     print()
     print(sweep.render(
         points, metrics=list(repro.BackendSweep.METRICS),

@@ -32,6 +32,7 @@ from repro.core.schedule import (
 )
 from repro.core.saim import SelfAdaptiveIsingMachine, SaimConfig, SaimResult
 from repro.core.engine import SaimEngine
+from repro.core.fleet_engine import FleetEngine
 from repro.core.report import SolveReport, coerce_report
 from repro.core.results import FeasibleRecord, SolveTrace
 from repro.core.hybrid_encoding import (
@@ -86,6 +87,7 @@ __all__ = [
     "constant_beta_schedule",
     "SelfAdaptiveIsingMachine",
     "SaimEngine",
+    "FleetEngine",
     "SaimConfig",
     "SaimResult",
     "SolveReport",

@@ -45,6 +45,7 @@ from repro.ising.sparse import (
     greedy_coloring,
     random_sparse_ising,
 )
+from repro.ising.fleet import FleetAnnealResult, FleetMachine, FleetProgram
 from repro.ising.pt_machine import PTMachine
 from repro.ising.qubo_io import write_qubo, read_qubo
 from repro.ising.higher_order import (
@@ -66,6 +67,9 @@ __all__ = [
     "ChromaticPBitMachine",
     "greedy_coloring",
     "random_sparse_ising",
+    "FleetAnnealResult",
+    "FleetMachine",
+    "FleetProgram",
     "PTMachine",
     "write_qubo",
     "read_qubo",

@@ -2,23 +2,29 @@
 over the front door."""
 
 from repro.runtime.executor import (
+    STRATEGIES,
     JobOutcome,
     SolveJob,
     SolveJobError,
     SolveManyReport,
     SolveManyStats,
+    fleet_jobs,
+    fused_blockers,
     iter_solve_many,
     solve_many,
 )
 from repro.runtime.session import SolverSession, problem_fingerprint
 
 __all__ = [
+    "STRATEGIES",
     "SolveJob",
     "JobOutcome",
     "SolveJobError",
     "SolveManyReport",
     "SolveManyStats",
     "SolverSession",
+    "fleet_jobs",
+    "fused_blockers",
     "iter_solve_many",
     "problem_fingerprint",
     "solve_many",

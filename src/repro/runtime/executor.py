@@ -14,6 +14,25 @@ module turns the pure front door into a batch service entry point:
 - :func:`solve_many` consumes the stream, restores job order, and aggregates
   wall-time/quality statistics into a :class:`SolveManyReport`.
 
+Execution strategies
+--------------------
+``solve_many(jobs, strategy=...)`` picks *how* the batch runs:
+
+- ``"process"`` (default) — each job is an independent :func:`repro.solve`
+  call, sharded across ``max_workers`` processes.  Works for every job.
+- ``"fused"`` — the whole batch becomes ONE :func:`repro.solve_fleet` call:
+  all instances anneal block-diagonally inside a single lock-step kernel,
+  which amortises the per-call numpy dispatch that dominates at small N.
+  Requires a *shareable* batch: every job SAIM on the p-bit backend with
+  the same config/replicas/aggregate (see :func:`fused_blockers`).  Results
+  are bit-identical to ``"process"`` for the same per-job generators.
+- ``"auto"`` — ``"fused"`` when the batch is shareable and the instances
+  are small (where the fused scan wins), else ``"process"``.
+
+:func:`fleet_jobs` builds a batch whose per-job generators are the
+``spawn_rngs`` children of one seed — exactly the streams the fused path
+derives itself — so the two strategies are interchangeable run-for-run.
+
 With ``max_workers=1`` no processes are spawned: jobs run in-process, in
 order, and the results are bit-identical to looping ``repro.solve`` by hand
 (this is also the path tests use, and the only path that accepts
@@ -54,6 +73,15 @@ import traceback
 from dataclasses import dataclass, field
 
 import numpy as np
+
+STRATEGIES = ("process", "fused", "auto")
+
+# "auto" only fuses fleets of small instances: the block-diagonal scan wins
+# by amortising numpy dispatch overhead, which stops dominating once the
+# per-instance matmuls grow (measured crossover well above N=49 encoded
+# spins, below N≈200 — see benchmarks/bench_perf_fleet.py).
+_AUTO_FUSED_MAX_VARIABLES = 128
+_AUTO_FUSED_MIN_JOBS = 2
 
 
 @dataclass(frozen=True)
@@ -131,7 +159,12 @@ class SolveManyStats:
     ``job_seconds_total`` is the sum of per-job solve times — what a serial
     loop would have cost — so ``speedup_vs_serial`` is the sharding win.
     Quality fields summarize successful results exposing ``best_cost``
-    (``nan`` when no job produced a feasible incumbent).
+    (``nan`` when no job produced a feasible incumbent).  ``strategy`` is
+    the *resolved* execution strategy (``"process"`` or ``"fused"`` — never
+    ``"auto"``), and under the fused strategy each job's ``seconds`` is the
+    indivisible fleet wall time split evenly, so ``speedup_vs_serial`` is
+    1.0 by construction there (compare ``wall_seconds`` across strategies
+    instead).
     """
 
     num_jobs: int
@@ -143,12 +176,14 @@ class SolveManyStats:
     speedup_vs_serial: float
     best_cost: float
     mean_best_cost: float
+    strategy: str = "process"
 
     def summary(self) -> str:
         """One-line human-readable digest."""
         return (
             f"{self.num_ok}/{self.num_jobs} jobs ok in "
             f"{self.wall_seconds:.2f}s wall "
+            f"[{self.strategy}] "
             f"({self.jobs_per_second:.2f} jobs/s, "
             f"{self.speedup_vs_serial:.2f}x vs serial); "
             f"best cost {self.best_cost:g}"
@@ -215,7 +250,179 @@ def _check_jobs(jobs) -> list:
     return jobs
 
 
-def iter_solve_many(jobs, max_workers: int = 1):
+def fleet_jobs(problems, rng=None, tags=None, **shared) -> list:
+    """Build one :class:`SolveJob` per problem with spawned per-job streams.
+
+    Each job's ``rng`` is the matching child of ``spawn_rngs(rng, B)`` —
+    the same per-instance streams the fused fleet path derives from a
+    seed — so ``solve_many(fleet_jobs(problems, rng=seed), strategy=s)``
+    returns bit-identical results for ``s="process"`` and ``s="fused"``.
+    Remaining keyword arguments are shared :class:`SolveJob` fields
+    (``config=...``, ``num_replicas=...``, ``config_overrides=...``, ...);
+    ``tags`` optionally labels each job.
+
+    The jobs carry live generators, so the process strategy must run them
+    with ``max_workers=1`` (the in-process path); pass plain integer seeds
+    yourself when sharding across processes.
+    """
+    from repro.utils.rng import spawn_rngs
+
+    problems = list(problems)
+    if "rng" in shared:
+        raise TypeError(
+            "pass the fleet seed as the rng= argument, not inside the "
+            "shared job fields"
+        )
+    if tags is not None:
+        tags = list(tags)
+        if len(tags) != len(problems):
+            raise ValueError(
+                f"need one tag per problem: got {len(tags)} tags for "
+                f"{len(problems)} problems"
+            )
+    rngs = spawn_rngs(rng, len(problems))
+    return [
+        SolveJob(
+            problem=problem, rng=stream,
+            tag=tags[index] if tags is not None else "",
+            **shared,
+        )
+        for index, (problem, stream) in enumerate(zip(problems, rngs))
+    ]
+
+
+def fused_blockers(jobs) -> list:
+    """Why this batch can NOT run under ``strategy="fused"`` (empty = can).
+
+    The fused path packs every job into one block-diagonal p-bit fleet
+    sharing a single kernel scan, so the jobs must agree on everything that
+    shapes that scan: SAIM method, p-bit backend, one config (base +
+    overrides), one replica count / aggregate mode, random restarts, no
+    method options.  Per-job ``rng`` and ``initial_lambdas`` stay free —
+    the fleet engine keeps those per instance.
+    """
+    jobs = _check_jobs(jobs)
+    blockers = []
+    if not jobs:
+        blockers.append("batch is empty")
+        return blockers
+    first = jobs[0]
+    for index, job in enumerate(jobs):
+        label = f"jobs[{index}]"
+        if job.method != "saim":
+            blockers.append(f"{label}: method {job.method!r} is not 'saim'")
+        if job.backend not in (None, "pbit"):
+            blockers.append(
+                f"{label}: backend {job.backend!r} is not the fused p-bit "
+                f"kernel"
+            )
+        if job.restart != "random":
+            blockers.append(f"{label}: restart {job.restart!r} != 'random'")
+        if job.method_options:
+            blockers.append(f"{label}: method_options are set")
+        if job.num_replicas != first.num_replicas:
+            blockers.append(
+                f"{label}: num_replicas {job.num_replicas} != "
+                f"{first.num_replicas}"
+            )
+        if job.aggregate != first.aggregate:
+            blockers.append(
+                f"{label}: aggregate {job.aggregate!r} != "
+                f"{first.aggregate!r}"
+            )
+        if job.config != first.config:
+            blockers.append(f"{label}: config differs from jobs[0]")
+        if (job.config_overrides or {}) != (first.config_overrides or {}):
+            blockers.append(
+                f"{label}: config_overrides differ from jobs[0]"
+            )
+        if (job.backend_options or {}) != (first.backend_options or {}):
+            blockers.append(
+                f"{label}: backend_options differ from jobs[0]"
+            )
+    return blockers
+
+
+def _job_num_variables(job) -> int | None:
+    """Decision-variable count of a job's problem, if cheaply knowable."""
+    for attr in ("num_items", "num_variables"):
+        value = getattr(job.problem, attr, None)
+        if value is not None:
+            return int(value)
+    return None
+
+
+def _resolve_strategy(jobs, strategy: str) -> str:
+    """Collapse ``"auto"`` to a concrete strategy; validate ``"fused"``."""
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"strategy must be one of {STRATEGIES}, got {strategy!r}"
+        )
+    if strategy == "fused":
+        blockers = fused_blockers(jobs)
+        if blockers:
+            raise ValueError(
+                "strategy='fused' needs a shareable batch; blockers:\n  "
+                + "\n  ".join(blockers)
+            )
+        return "fused"
+    if strategy == "auto":
+        if len(jobs) >= _AUTO_FUSED_MIN_JOBS and not fused_blockers(jobs):
+            sizes = [_job_num_variables(job) for job in jobs]
+            if all(
+                size is not None and size <= _AUTO_FUSED_MAX_VARIABLES
+                for size in sizes
+            ):
+                return "fused"
+        return "process"
+    return "process"
+
+
+def _execute_fused(jobs) -> list:
+    """Run the whole batch as ONE ``repro.solve_fleet`` call.
+
+    Per-job generators are coerced exactly as :func:`repro.solve` coerces
+    its ``rng`` argument, so a batch built by :func:`fleet_jobs` (or one
+    using plain integer seeds) produces bit-identical results to the
+    process strategy.  The fused call is indivisible, so a failure is
+    reported on every outcome, and each outcome's ``seconds`` is the fleet
+    wall time split evenly.
+    """
+    from repro.api import solve_fleet
+    from repro.utils.rng import ensure_rng
+
+    first = jobs[0]
+    start = time.perf_counter()
+    try:
+        reports = solve_fleet(
+            [job.problem for job in jobs],
+            backend=first.backend,
+            config=first.config,
+            num_replicas=first.num_replicas,
+            aggregate=first.aggregate,
+            restart="random",
+            rng=[ensure_rng(job.rng) for job in jobs],
+            initial_lambdas=[job.initial_lambdas for job in jobs],
+            backend_options=first.backend_options,
+            **(first.config_overrides or {}),
+        )
+    except Exception:
+        error = traceback.format_exc()
+        share = (time.perf_counter() - start) / len(jobs)
+        return [
+            JobOutcome(index=index, job=job, error=error, seconds=share)
+            for index, job in enumerate(jobs)
+        ]
+    return [
+        JobOutcome(
+            index=index, job=job, result=report,
+            seconds=report.wall_seconds,
+        )
+        for index, (job, report) in enumerate(zip(jobs, reports))
+    ]
+
+
+def iter_solve_many(jobs, max_workers: int = 1, strategy: str = "process"):
     """Execute jobs and yield :class:`JobOutcome` objects as they complete.
 
     ``max_workers=1`` runs in-process, in job order (deterministically
@@ -223,11 +430,18 @@ def iter_solve_many(jobs, max_workers: int = 1):
     across a ``ProcessPoolExecutor`` and yields in *completion* order — read
     ``outcome.index`` to restore job order.  Failures are reported in the
     outcome's ``error`` field, never raised from here.
+
+    ``strategy`` picks the execution path (see the module docstring): the
+    fused path runs the batch as one in-process fleet call and yields all
+    outcomes at its end, in job order, ignoring ``max_workers``.
     """
     if max_workers < 1:
         raise ValueError(f"max_workers must be >= 1, got {max_workers}")
     jobs = _check_jobs(jobs)
     if not jobs:
+        return
+    if _resolve_strategy(jobs, strategy) == "fused":
+        yield from _execute_fused(jobs)
         return
     if max_workers == 1 or len(jobs) == 1:
         for index, job in enumerate(jobs):
@@ -257,6 +471,7 @@ def solve_many(
     max_workers: int = 1,
     raise_on_error: bool = True,
     progress=None,
+    strategy: str = "process",
 ) -> SolveManyReport:
     """Solve a batch of jobs, sharded across processes; aggregate stats.
 
@@ -266,7 +481,7 @@ def solve_many(
         Iterable of :class:`SolveJob`.
     max_workers:
         Process count; ``1`` (default) runs in-process and bit-identical to
-        a serial ``repro.solve`` loop.
+        a serial ``repro.solve`` loop.  Ignored by the fused strategy.
     raise_on_error:
         When true (default) the first failed job raises
         :class:`SolveJobError` after the batch drains; when false, failures
@@ -274,13 +489,22 @@ def solve_many(
     progress:
         Optional callback invoked with each :class:`JobOutcome` as it
         completes (streaming hook for CLIs and services).
+    strategy:
+        ``"process"`` (default), ``"fused"``, or ``"auto"`` — see the
+        module docstring.  ``"fused"`` raises ``ValueError`` listing the
+        blockers when the batch is not shareable
+        (:func:`fused_blockers`); ``"auto"`` falls back to ``"process"``
+        instead.  The resolved choice is recorded in ``stats.strategy``.
 
     Returns a :class:`SolveManyReport` with outcomes in *job* order.
     """
     jobs = _check_jobs(jobs)
+    resolved = _resolve_strategy(jobs, strategy) if jobs else "process"
     start = time.perf_counter()
     outcomes: list[JobOutcome | None] = [None] * len(jobs)
-    for outcome in iter_solve_many(jobs, max_workers=max_workers):
+    for outcome in iter_solve_many(
+        jobs, max_workers=max_workers, strategy=resolved
+    ):
         outcomes[outcome.index] = outcome
         if progress is not None:
             progress(outcome)
@@ -289,11 +513,12 @@ def solve_many(
         for outcome in outcomes:
             if outcome is not None and not outcome.ok:
                 raise SolveJobError(outcome)
-    stats = _aggregate(outcomes, wall)
+    stats = _aggregate(outcomes, wall, strategy=resolved)
     return SolveManyReport(outcomes=outcomes, stats=stats)
 
 
-def _aggregate(outcomes, wall_seconds: float) -> SolveManyStats:
+def _aggregate(outcomes, wall_seconds: float,
+               strategy: str = "process") -> SolveManyStats:
     num_jobs = len(outcomes)
     ok = [o for o in outcomes if o is not None and o.ok]
     job_seconds = float(sum(o.seconds for o in outcomes if o is not None))
@@ -317,4 +542,5 @@ def _aggregate(outcomes, wall_seconds: float) -> SolveManyStats:
         mean_best_cost=(
             float(np.mean(best_costs)) if best_costs else float("nan")
         ),
+        strategy=strategy,
     )

@@ -335,3 +335,59 @@ class TestSweepWithSolver:
         assert len(points) == 3
         best = sweep.best(points, "best_cost", maximize=False)
         assert best.metrics["best_cost"] <= -8.0 + 1e-9
+
+
+class TestSweepStrategy:
+    """Executor-strategy pass-through and the rendered strategy column."""
+
+    FAST = dict(num_iterations=8, mcs_per_run=50, eta=5.0,
+                eta_decay="sqrt", normalize_step=True)
+
+    def test_strategy_column_rendered(self):
+        from tests.helpers import tiny_knapsack_problem
+
+        report = sweep_backends(
+            tiny_knapsack_problem(), backends=["pbit"], replicas=[1],
+            rng=0, **self.FAST,
+        )
+        assert "strategy" in report.table
+        assert all(p.metrics["strategy"] == "process" for p in report.points)
+
+    def test_fused_single_cell_grid_matches_process(self):
+        """A one-cell SAIM/pbit grid is a fleet of one: fused must run and
+        agree with the process path on the same integer seed."""
+        from tests.helpers import tiny_knapsack_problem
+
+        fused = sweep_backends(
+            tiny_knapsack_problem(), backends=["pbit"], replicas=[1],
+            rng=4, strategy="fused", **self.FAST,
+        )
+        process = sweep_backends(
+            tiny_knapsack_problem(), backends=["pbit"], replicas=[1],
+            rng=4, strategy="process", **self.FAST,
+        )
+        assert fused.points[0].metrics["strategy"] == "fused"
+        assert (fused.points[0].metrics["best_cost"]
+                == process.points[0].metrics["best_cost"])
+        assert "fused" in fused.table
+
+    def test_fused_heterogeneous_grid_rejected(self):
+        from tests.helpers import tiny_knapsack_problem
+
+        sweep = BackendSweep(
+            tiny_knapsack_problem(), backends=["pbit", "metropolis"],
+            rng=0, **self.FAST,
+        )
+        with pytest.raises(ValueError, match="shareable"):
+            sweep.run(strategy="fused")
+
+    def test_auto_records_resolved_strategy(self):
+        from tests.helpers import tiny_knapsack_problem
+
+        # One grid point -> below the auto-fuse minimum, resolves to
+        # process; the column shows the *resolved* strategy, never "auto".
+        points = BackendSweep(
+            tiny_knapsack_problem(), backends=["pbit"], replicas=[1],
+            rng=0, **self.FAST,
+        ).run(strategy="auto")
+        assert points[0].metrics["strategy"] == "process"

@@ -218,3 +218,32 @@ class TestSolve:
         assert "SAIM penalty P" in out
         # Feasibility is not guaranteed at this tiny budget; both exits valid.
         assert code in (0, 1)
+
+
+class TestSweepStrategyFlag:
+    @pytest.fixture
+    def qkp_file(self, tmp_path):
+        path = tmp_path / "small.qkp"
+        main(["generate-qkp", str(path), "--items", "14", "--seed", "5"])
+        return path
+
+    def test_fused_single_cell_grid(self, qkp_file, capsys):
+        code = main(["sweep", str(qkp_file), "--backends", "pbit",
+                     "--replicas", "1", "--strategy", "fused",
+                     "--iterations", "15", "--mcs", "60"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "strategy" in out and "fused" in out
+
+    def test_fused_rejects_heterogeneous_grid(self, qkp_file):
+        with pytest.raises(SystemExit, match="shareable"):
+            main(["sweep", str(qkp_file), "--backends", "pbit,metropolis",
+                  "--strategy", "fused", "--iterations", "10",
+                  "--mcs", "60"])
+
+    def test_auto_strategy_runs(self, qkp_file, capsys):
+        code = main(["sweep", str(qkp_file), "--backends", "pbit",
+                     "--replicas", "1", "--strategy", "auto",
+                     "--iterations", "15", "--mcs", "60"])
+        assert code == 0
+        assert "Solver sweep" in capsys.readouterr().out

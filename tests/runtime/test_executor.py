@@ -12,6 +12,8 @@ from repro.runtime import (
     JobOutcome,
     SolveJob,
     SolveJobError,
+    fleet_jobs,
+    fused_blockers,
     iter_solve_many,
     solve_many,
 )
@@ -285,3 +287,146 @@ class TestExports:
         assert "tiny-knap" in label
         assert "quantized" in label and "R=4" in label
         assert SolveJob(problem=None, tag="custom").label(0) == "custom"
+
+
+class TestFleetJobs:
+    """fleet_jobs: one spawned stream per job, shared solve settings."""
+
+    def test_streams_match_spawn_rngs(self):
+        from repro.utils.rng import spawn_rngs
+
+        problems = [generate_qkp(10, 0.5, rng=index) for index in range(3)]
+        jobs = fleet_jobs(problems, rng=11, config=FAST)
+        expected = spawn_rngs(11, len(problems))
+        for job, stream in zip(jobs, expected):
+            draw_a = job.rng.integers(0, 10**9)
+            draw_b = stream.integers(0, 10**9)
+            assert draw_a == draw_b
+        assert all(job.config is FAST for job in jobs)
+
+    def test_tags(self):
+        problems = [generate_qkp(8, 0.5, rng=0)]
+        (job,) = fleet_jobs(problems, rng=0, tags=["alpha"])
+        assert job.tag == "alpha"
+        with pytest.raises(ValueError, match="one tag per problem"):
+            fleet_jobs(problems, rng=0, tags=["a", "b"])
+
+    def test_rng_in_shared_fields_rejected(self):
+        with pytest.raises(TypeError, match="rng"):
+            fleet_jobs([generate_qkp(8, 0.5, rng=0)], 3, rng=4)
+
+
+class TestFusedStrategy:
+    """strategy='fused': one solve_fleet call, bit-identical to process."""
+
+    def _fleet(self, seed):
+        problems = [
+            generate_qkp(12, 0.5, rng=100 + index) for index in range(4)
+        ]
+        return fleet_jobs(problems, rng=seed, config=FAST)
+
+    def test_fused_equals_process(self):
+        fused = solve_many(self._fleet(42), strategy="fused")
+        process = solve_many(self._fleet(42), strategy="process")
+        assert fused.stats.strategy == "fused"
+        assert process.stats.strategy == "process"
+        for a, b in zip(fused.results, process.results):
+            assert a.best_cost == b.best_cost
+            assert a.feasible == b.feasible
+            np.testing.assert_array_equal(
+                a.detail.final_lambdas, b.detail.final_lambdas
+            )
+            np.testing.assert_array_equal(
+                a.detail.trace.energies, b.detail.trace.energies
+            )
+
+    def test_int_seed_jobs_fuse_identically(self):
+        jobs = [
+            SolveJob(problem=generate_qkp(10, 0.5, rng=index), config=FAST,
+                     rng=7)
+            for index in range(3)
+        ]
+        fused = solve_many(jobs, strategy="fused")
+        process = solve_many(jobs, strategy="process")
+        for a, b in zip(fused.results, process.results):
+            assert a.best_cost == b.best_cost
+
+    def test_blockers_reported(self):
+        mixed = [
+            SolveJob(problem=tiny_knapsack_problem(), method="greedy"),
+            SolveJob(problem=tiny_knapsack_problem(), config=FAST),
+        ]
+        blockers = fused_blockers(mixed)
+        assert any("greedy" in blocker for blocker in blockers)
+        assert any("config differs" in blocker for blocker in blockers)
+        with pytest.raises(ValueError, match="shareable"):
+            solve_many(mixed, strategy="fused")
+        assert fused_blockers(self._fleet(0)) == []
+        assert fused_blockers([]) == ["batch is empty"]
+
+    def test_fused_outcome_seconds_split_evenly(self):
+        report = solve_many(self._fleet(1), strategy="fused")
+        seconds = {outcome.seconds for outcome in report.outcomes}
+        assert len(seconds) == 1  # indivisible fleet wall, shared evenly
+        assert seconds.pop() > 0
+
+    def test_fused_failure_reported_on_every_outcome(self):
+        jobs = self._fleet(2)
+        bad = [
+            SolveJob(problem=job.problem, config=FAST, rng=job.rng,
+                     initial_lambdas=np.zeros(9))
+            for job in jobs
+        ]
+        report = solve_many(bad, strategy="fused", raise_on_error=False)
+        assert all(not outcome.ok for outcome in report.outcomes)
+        assert all("shape" in outcome.error for outcome in report.outcomes)
+        with pytest.raises(SolveJobError):
+            solve_many(self._fleet_bad(), strategy="fused")
+
+    def _fleet_bad(self):
+        return [
+            SolveJob(problem=job.problem, config=FAST, rng=job.rng,
+                     initial_lambdas=np.zeros(9))
+            for job in self._fleet(3)
+        ]
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="strategy"):
+            solve_many(fast_jobs(), strategy="magic")
+
+
+class TestAutoStrategy:
+    def test_small_shareable_batch_fuses(self):
+        problems = [generate_qkp(10, 0.5, rng=index) for index in range(3)]
+        report = solve_many(fleet_jobs(problems, rng=0, config=FAST),
+                            strategy="auto")
+        assert report.stats.strategy == "fused"
+
+    def test_non_shareable_batch_falls_back(self):
+        jobs = [
+            SolveJob(problem=tiny_knapsack_problem(), method="greedy"),
+            SolveJob(problem=tiny_knapsack_problem(), config=FAST),
+        ]
+        report = solve_many(jobs, strategy="auto", raise_on_error=False)
+        assert report.stats.strategy == "process"
+
+    def test_single_job_stays_process(self):
+        report = solve_many(fast_jobs((0,)), strategy="auto")
+        assert report.stats.strategy == "process"
+
+    def test_large_instances_stay_process(self):
+        problems = [generate_qkp(150, 0.3, rng=index) for index in range(2)]
+        jobs = fleet_jobs(
+            problems, rng=0, config=FAST,
+            config_overrides={"num_iterations": 1, "mcs_per_run": 2},
+        )
+        assert solve_many(
+            jobs, strategy="auto"
+        ).stats.strategy == "process"
+
+    def test_stats_summary_names_strategy(self):
+        problems = [generate_qkp(10, 0.5, rng=index) for index in range(2)]
+        report = solve_many(fleet_jobs(problems, rng=0, config=FAST),
+                            strategy="fused")
+        assert "[fused]" in report.stats.summary()
+        assert "jobs/s" in report.stats.summary()
