@@ -94,7 +94,7 @@ from repro.problems import (
     paper_mkp_instance,
 )
 
-__version__ = "2.3.0"
+__version__ = "2.4.0"
 
 # The sweep drivers live under repro.analysis, whose package import pulls in
 # the whole experiment harness; resolve them lazily so `import repro` (and

@@ -106,7 +106,7 @@ def greedy_mkp(instance: MkpInstance) -> np.ndarray:
     """Grow a feasible MKP selection by value per aggregate normalized weight."""
     n = instance.num_items
     x = np.zeros(n, dtype=np.int8)
-    capacities = instance.capacities.astype(float).copy()
+    capacities = instance.capacities.astype(float)
     safe_caps = np.where(capacities > 0, capacities, 1.0)
     # Aggregate weight of an item: sum of its loads relative to capacities.
     aggregate = (instance.weights / safe_caps[:, None]).sum(axis=0)

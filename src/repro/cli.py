@@ -59,6 +59,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="list registered solver methods and annealing backends",
     )
 
+    lint = sub.add_parser(
+        "lint",
+        help="run reprolint, the static contract checker "
+             "(python -m repro.devtools.lint); extra arguments pass "
+             "through, e.g. `repro lint -- --format json`",
+        add_help=False,
+    )
+    lint.add_argument(
+        "lint_args", nargs=argparse.REMAINDER,
+        help="arguments forwarded to reprolint (see "
+             "`repro lint -- --help`)",
+    )
+
     solve = sub.add_parser("solve", help="solve an instance file")
     solve.add_argument("path", type=Path)
     solve.add_argument(
@@ -497,6 +510,19 @@ def _solve(args) -> int:
 
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # `lint` forwards everything verbatim; argparse's REMAINDER only
+    # engages at the first positional, so `repro lint --list-rules`
+    # needs the short-circuit here.
+    if list(argv[:1]) == ["lint"]:
+        from repro.devtools.lint import main as lint_main
+
+        forwarded = list(argv[1:])
+        if forwarded[:1] == ["--"]:
+            forwarded = forwarded[1:]
+        return lint_main(forwarded)
+
     args = _build_parser().parse_args(argv)
 
     if args.command == "generate-qkp":

@@ -1,0 +1,7 @@
+"""Developer tooling that ships with the repo but outside the solve path.
+
+:mod:`repro.devtools.lint` is ``reprolint`` — the static contract checker
+that fronts for the runtime property suites (see DESIGN.md, "Static
+guarantees").  Nothing under ``devtools`` is imported by the solver
+library itself; the CLI and CI reach in explicitly.
+"""

@@ -1,0 +1,79 @@
+"""``reprolint`` — static enforcement of the repo's runtime contracts.
+
+Two passes (see DESIGN.md, "Static guarantees"):
+
+1. **AST rules** (:mod:`~repro.devtools.lint.rules`): a registry of
+   ``RuleSpec``-described checkers — RPL001..RPL008 — encoding the
+   determinism, dtype, aliasing, and picklability conventions the PR 1-6
+   arc established and until now policed only at runtime.
+2. **Deep lint** (:mod:`~repro.devtools.lint.deep`): import-time
+   introspection of the real method/backend registry — RPD101..RPD105 —
+   checking cross-module contracts (uniform factory signatures, contract-
+   suite coverage, CLI reachability, dead exports, docstring accuracy).
+
+Run ``python -m repro.devtools.lint`` or ``repro lint``; configuration
+lives under ``[tool.reprolint]`` in ``pyproject.toml``, grandfathered
+findings in the committed baseline file (which CI only lets shrink).
+"""
+
+from repro.devtools.lint.config import (
+    LintConfig,
+    apply_baseline,
+    load_baseline,
+    load_config,
+    save_baseline,
+)
+from repro.devtools.lint.deep import (
+    DeepSpec,
+    available_deep_checks,
+    deep_check_info,
+    register_deep_check,
+    run_deep_checks,
+)
+from repro.devtools.lint.engine import (
+    LintResult,
+    lint_file,
+    render_json,
+    render_text,
+    run_lint,
+)
+from repro.devtools.lint.rules import (
+    Finding,
+    Rule,
+    RuleSpec,
+    available_rules,
+    register_rule,
+    rule_info,
+)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RuleSpec",
+    "available_rules",
+    "register_rule",
+    "rule_info",
+    "DeepSpec",
+    "available_deep_checks",
+    "deep_check_info",
+    "register_deep_check",
+    "run_deep_checks",
+    "LintConfig",
+    "load_config",
+    "load_baseline",
+    "save_baseline",
+    "apply_baseline",
+    "LintResult",
+    "run_lint",
+    "lint_file",
+    "render_text",
+    "render_json",
+    "main",
+]
+
+
+def main(argv=None) -> int:
+    """CLI entry point (lazy import keeps ``python -m`` runpy-clean)."""
+    from repro.devtools.lint.__main__ import main as cli_main
+
+    return cli_main(argv)

@@ -1,0 +1,152 @@
+"""``python -m repro.devtools.lint`` — the reprolint command line.
+
+Examples::
+
+    python -m repro.devtools.lint                      # lint src/repro
+    python -m repro.devtools.lint src/repro --format json
+    python -m repro.devtools.lint --list-rules
+    python -m repro.devtools.lint --update-baseline    # regrandfather
+
+Exit codes: 0 clean, 1 new findings / stale baseline entries, 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.devtools.lint import deep as deep_module
+from repro.devtools.lint import rules as rules_module
+from repro.devtools.lint.config import load_baseline, load_config, save_baseline
+from repro.devtools.lint.engine import render_json, render_text, run_lint
+
+DEFAULT_TARGET = "src/repro"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST + introspection contract checker for the repro "
+                    "codebase (determinism, dtype, and registry "
+                    "invariants; see DESIGN.md 'Static guarantees')",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help=f"files/directories to lint (default: {DEFAULT_TARGET} "
+             f"under the repo root)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is the CI artifact)",
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated AST rule ids to run (default: all enabled)",
+    )
+    parser.add_argument(
+        "--no-deep", action="store_true",
+        help="skip the import-time introspection pass",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline file (default: [tool.reprolint].baseline)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to grandfather exactly the current "
+             "findings, then exit 0",
+    )
+    parser.add_argument(
+        "--config", type=Path, default=None,
+        help="pyproject.toml to read [tool.reprolint] from (its directory "
+             "becomes the repo root)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="also print baselined (grandfathered) findings",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule/check table and exit",
+    )
+    return parser
+
+
+def _list_rules() -> int:
+    print("AST rules (pass 1):")
+    for rule_id in rules_module.available_rules():
+        spec = rules_module.rule_info(rule_id)
+        scope = f"  [paths: {', '.join(spec.paths)}]" if spec.paths else ""
+        print(f"  {rule_id} {spec.name:<28} {spec.description}{scope}")
+        if spec.fronts_for:
+            print(f"         fronts for: {spec.fronts_for}")
+    print()
+    print("introspection checks (pass 2, deep lint):")
+    for check_id in deep_module.available_deep_checks():
+        spec = deep_module.deep_check_info(check_id)
+        print(f"  {check_id} {spec.name:<28} {spec.description}")
+        if spec.fronts_for:
+            print(f"         fronts for: {spec.fronts_for}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
+
+    try:
+        config = load_config(pyproject=args.config)
+    except (ValueError, OSError) as error:
+        print(f"reprolint: configuration error: {error}", file=sys.stderr)
+        return 2
+    if args.baseline is not None:
+        config.baseline_path = args.baseline
+
+    paths = args.paths or [config.repo_root / DEFAULT_TARGET]
+    rule_ids = None
+    if args.rules is not None:
+        rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
+        try:
+            for rule_id in rule_ids:
+                rules_module.rule_info(rule_id)
+        except ValueError as error:
+            print(f"reprolint: {error}", file=sys.stderr)
+            return 2
+
+    try:
+        baseline = load_baseline(config.baseline_path)
+    except (ValueError, OSError) as error:
+        print(f"reprolint: baseline error: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        result = run_lint(
+            paths, config,
+            deep=False if args.no_deep else None,
+            rule_ids=rule_ids,
+            baseline=baseline,
+        )
+    except FileNotFoundError as error:
+        print(f"reprolint: {error}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        save_baseline(config.baseline_path, result.findings)
+        print(
+            f"reprolint: baseline {config.baseline_path} rewritten with "
+            f"{len(result.findings)} grandfathered finding(s)"
+        )
+        return 0
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,199 @@
+"""``[tool.reprolint]`` configuration and the grandfathering baseline.
+
+Configuration lives in ``pyproject.toml``::
+
+    [tool.reprolint]
+    baseline = "reprolint-baseline.json"   # committed grandfather file
+    ignore = ["**/_vendored/**"]           # global path ignores (globs)
+    deep = true                            # run the introspection pass
+
+    [tool.reprolint.rules.RPL004]
+    enabled = true
+    ignore = ["src/repro/legacy/*"]        # per-rule path ignores
+
+Baseline semantics (the CI contract):
+
+- A finding whose :attr:`~repro.devtools.lint.rules.Finding.key` matches
+  a baseline entry is *grandfathered* — reported separately, exit 0.
+- Findings beyond the baseline are *new* — exit 1.  The baseline can
+  therefore never grow silently.
+- Baseline entries matching nothing are *stale* — exit 1 too, so the file
+  can only shrink: fixing a grandfathered finding forces the entry's
+  removal in the same change.
+
+Keys are line-number-free (rule + path + stripped source line / symbol),
+so unrelated edits above a grandfathered line do not churn the file;
+duplicate identical lines are handled by per-key counts.
+"""
+
+from __future__ import annotations
+
+import json
+import tomllib
+from collections import Counter
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+
+from repro.devtools.lint.rules import Finding, available_rules
+
+DEFAULT_BASELINE = "reprolint-baseline.json"
+BASELINE_VERSION = 1
+
+
+@dataclass
+class RuleConfig:
+    """Per-rule toggles from ``[tool.reprolint.rules.<ID>]``."""
+
+    enabled: bool = True
+    ignore: tuple[str, ...] = ()
+
+
+@dataclass
+class LintConfig:
+    """Resolved reprolint configuration."""
+
+    repo_root: Path
+    baseline_path: Path
+    ignore: tuple[str, ...] = ()
+    deep: bool = True
+    rules: dict[str, RuleConfig] = field(default_factory=dict)
+
+    def rule_config(self, rule_id: str) -> RuleConfig:
+        """The per-rule config (default-enabled when unconfigured)."""
+        return self.rules.get(rule_id, RuleConfig())
+
+    def is_ignored(self, path: str, rule_id: str | None = None) -> bool:
+        """Whether ``path`` is globally (or per-rule) ignored."""
+        if any(fnmatch(path, pattern) for pattern in self.ignore):
+            return True
+        if rule_id is not None:
+            per_rule = self.rule_config(rule_id)
+            return any(fnmatch(path, p) for p in per_rule.ignore)
+        return False
+
+
+def find_repo_root(start: Path) -> Path:
+    """Nearest ancestor (inclusive) holding a ``pyproject.toml``."""
+    start = Path(start).resolve()
+    if start.is_file():
+        start = start.parent
+    for candidate in (start, *start.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return start
+
+
+def load_config(repo_root=None, pyproject=None) -> LintConfig:
+    """Build a :class:`LintConfig` from ``pyproject.toml``.
+
+    ``repo_root`` defaults to the nearest ancestor of the current
+    directory with a ``pyproject.toml``; ``pyproject`` overrides the file
+    location explicitly (its parent becomes the root).
+    """
+    if pyproject is not None:
+        pyproject = Path(pyproject)
+        repo_root = pyproject.parent
+    else:
+        repo_root = find_repo_root(Path(repo_root or Path.cwd()))
+        pyproject = repo_root / "pyproject.toml"
+
+    table: dict = {}
+    if pyproject.is_file():
+        with open(pyproject, "rb") as handle:
+            table = tomllib.load(handle).get("tool", {}).get("reprolint", {})
+
+    rules: dict[str, RuleConfig] = {}
+    for rule_id, entry in table.get("rules", {}).items():
+        if not isinstance(entry, dict):
+            raise ValueError(
+                f"[tool.reprolint.rules.{rule_id}] must be a table, got "
+                f"{type(entry).__name__}"
+            )
+        unknown = set(entry) - {"enabled", "ignore"}
+        if unknown:
+            raise ValueError(
+                f"[tool.reprolint.rules.{rule_id}] has unknown keys "
+                f"{sorted(unknown)}; valid keys: ['enabled', 'ignore']"
+            )
+        rules[rule_id] = RuleConfig(
+            enabled=bool(entry.get("enabled", True)),
+            ignore=tuple(entry.get("ignore", ())),
+        )
+
+    known = set(available_rules())
+    bogus = {rule_id for rule_id in rules
+             if rule_id not in known and not rule_id.startswith("RPD")}
+    if bogus:
+        raise ValueError(
+            f"[tool.reprolint.rules] configures unknown rule(s) "
+            f"{sorted(bogus)}; known AST rules: {sorted(known)}"
+        )
+
+    return LintConfig(
+        repo_root=repo_root,
+        baseline_path=repo_root / table.get("baseline", DEFAULT_BASELINE),
+        ignore=tuple(table.get("ignore", ())),
+        deep=bool(table.get("deep", True)),
+        rules=rules,
+    )
+
+
+def load_baseline(path) -> Counter:
+    """Baseline file -> ``Counter`` of grandfathered finding keys."""
+    path = Path(path)
+    if not path.is_file():
+        return Counter()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {data.get('version')!r}; this "
+            f"reprolint reads version {BASELINE_VERSION}"
+        )
+    entries = data.get("entries", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"baseline {path}: 'entries' must be an object")
+    return Counter({str(k): int(v) for k, v in entries.items()})
+
+
+def save_baseline(path, findings) -> None:
+    """Write the baseline grandfathering exactly ``findings``."""
+    counts = Counter(finding.key for finding in findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Grandfathered reprolint findings. CI fails on findings "
+            "beyond this file AND on stale entries, so it only shrinks: "
+            "fix the finding, then delete its entry (or rerun with "
+            "--update-baseline)."
+        ),
+        "entries": {key: counts[key] for key in sorted(counts)},
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+
+
+@dataclass
+class BaselineSplit:
+    """Findings split against the baseline, plus stale leftover keys."""
+
+    new: list[Finding]
+    baselined: list[Finding]
+    stale: list[str]
+
+
+def apply_baseline(findings, baseline: Counter) -> BaselineSplit:
+    """Split findings into new vs grandfathered; report stale entries."""
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for finding in findings:
+        if remaining[finding.key] > 0:
+            remaining[finding.key] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(key for key, count in remaining.items() if count > 0)
+    return BaselineSplit(new=new, baselined=grandfathered, stale=stale)

@@ -1,0 +1,508 @@
+"""Pass 2 — the import-time introspection "deep lint".
+
+These checks import the *real* registry and cross-check contracts no AST
+pass can see from one file at a time:
+
+- RPD101: every registered backend factory has the uniform
+  ``factory(model, rng=None, dtype=None)`` signature (PR 4 contract).
+- RPD102: the auto-discovered backend contract suite really is
+  registry-driven, so every :class:`~repro.api.BackendSpec` is exercised.
+- RPD103: every registered method is reachable from the CLI.
+- RPD104: ``repro.ising`` exports nothing that is neither wired into a
+  registered backend nor referenced anywhere else in ``src/`` (dead
+  public surface; known debt rides the baseline).
+- RPD105: registry-listed entry points have accurate docstrings —
+  backend descriptions name real builder knobs, and the documented
+  behavioural contracts (``fused_blockers``, ``SolveManyStats.summary``)
+  mention every field their implementation actually touches.
+
+Checks are registered like AST rules (``DeepSpec`` + decorator) and run
+by the engine after the AST pass; their findings flow through the same
+baseline mechanism, keyed by symbol instead of source line.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import re
+import textwrap
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.devtools.lint.rules import Finding
+
+
+@dataclass(frozen=True)
+class DeepSpec:
+    """Registry entry for one introspection check."""
+
+    id: str
+    name: str
+    description: str
+    severity: str = "error"
+    fronts_for: str = ""
+
+
+_DEEP_CHECKS: dict[str, DeepSpec] = {}
+_DEEP_RUNNERS: dict[str, object] = {}
+
+
+def register_deep_check(spec: DeepSpec):
+    """Decorator registering ``runner(ctx) -> list[Finding]`` under ``spec``."""
+
+    def decorate(runner):
+        if spec.id in _DEEP_CHECKS:
+            raise ValueError(f"deep check {spec.id!r} is already registered")
+        _DEEP_CHECKS[spec.id] = spec
+        _DEEP_RUNNERS[spec.id] = runner
+        runner.spec = spec
+        return runner
+
+    return decorate
+
+
+def available_deep_checks() -> list[str]:
+    """Registered deep-check ids, sorted."""
+    return sorted(_DEEP_CHECKS)
+
+
+def deep_check_info(check_id: str) -> DeepSpec:
+    """The :class:`DeepSpec` registered under ``check_id``."""
+    try:
+        return _DEEP_CHECKS[check_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown deep check {check_id!r}; available: "
+            f"{available_deep_checks()}"
+        ) from None
+
+
+@dataclass
+class DeepContext:
+    """What a deep check needs to locate things: the repo root."""
+
+    repo_root: Path
+
+    def rel(self, path) -> str:
+        """``path`` relative to the repo root when possible (posix)."""
+        path = Path(path).resolve()
+        try:
+            return path.relative_to(self.repo_root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+
+def run_deep_checks(repo_root, checks=None) -> list[Finding]:
+    """Run the selected (default: all) deep checks; return their findings."""
+    ctx = DeepContext(repo_root=Path(repo_root))
+    selected = available_deep_checks() if checks is None else list(checks)
+    findings: list[Finding] = []
+    for check_id in selected:
+        deep_check_info(check_id)
+        findings.extend(_DEEP_RUNNERS[check_id](ctx))
+    return findings
+
+
+def _symbol_finding(ctx, spec, obj, symbol, message,
+                    fallback_path="src/repro") -> Finding:
+    """Build a finding anchored at ``obj``'s definition, keyed by symbol."""
+    try:
+        path = ctx.rel(inspect.getsourcefile(obj))
+        line = inspect.getsourcelines(obj)[1]
+    except (TypeError, OSError):  # builtins / dynamically-built objects
+        path, line = fallback_path, 1
+    return Finding(
+        rule=spec.id, path=path, line=line, col=1,
+        message=message, snippet=symbol, severity=spec.severity,
+    )
+
+
+# --------------------------------------------------------------------------
+# RPD101 — uniform backend factory signature.
+
+@register_deep_check(DeepSpec(
+    id="RPD101",
+    name="uniform-factory-signature",
+    description="every registered backend builder returns a factory with "
+                "the uniform (model, rng=None, dtype=None) signature",
+    fronts_for="PR 4 dtype threading: the engine forwards "
+               "SaimConfig(dtype=...) to every factory positionally by "
+               "keyword (tests/ising/test_backend.py contract suite)",
+))
+def check_factory_signatures(ctx) -> list[Finding]:
+    import repro
+
+    findings = []
+    for name in repro.available_backends():
+        spec_entry = repro.backend_info(name)
+        symbol = f"backend:{name}"
+        try:
+            factory = spec_entry.builder()
+        except Exception as error:  # a builder that cannot default-build
+            findings.append(_symbol_finding(
+                ctx, check_factory_signatures.spec, spec_entry.builder,
+                symbol,
+                f"backend {name!r}: builder() failed with no options: "
+                f"{error}",
+            ))
+            continue
+        try:
+            parameters = inspect.signature(factory).parameters
+        except (TypeError, ValueError):
+            findings.append(_symbol_finding(
+                ctx, check_factory_signatures.spec, spec_entry.builder,
+                symbol,
+                f"backend {name!r}: factory signature is not introspectable",
+            ))
+            continue
+        names = list(parameters)
+        problems = []
+        if names[:1] != ["model"]:
+            problems.append("first parameter must be 'model'")
+        for knob in ("rng", "dtype"):
+            parameter = parameters.get(knob)
+            if parameter is None:
+                problems.append(f"missing keyword parameter '{knob}'")
+            elif parameter.default is not None:
+                # Parameter.empty is not None either, so a required
+                # (defaultless) knob is flagged here too.
+                problems.append(f"'{knob}' must default to None")
+        if problems:
+            findings.append(_symbol_finding(
+                ctx, check_factory_signatures.spec, factory, symbol,
+                f"backend {name!r} breaks the uniform "
+                f"factory(model, rng=None, dtype=None) signature: "
+                + "; ".join(problems),
+            ))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# RPD102 — registry-driven contract suite.
+
+CONTRACT_SUITE = "tests/ising/test_backend.py"
+
+
+@register_deep_check(DeepSpec(
+    id="RPD102",
+    name="contract-suite-coverage",
+    description="the backend contract suite auto-discovers from "
+                "available_backends(), so every BackendSpec is exercised",
+    fronts_for="PR 4 registry auto-discovery: a newly registered backend "
+               "must enter the contract suite without edits",
+))
+def check_contract_suite(ctx) -> list[Finding]:
+    spec = check_contract_suite.spec
+    suite = ctx.repo_root / CONTRACT_SUITE
+    if not suite.is_file():
+        return [Finding(
+            rule=spec.id, path=CONTRACT_SUITE, line=1, col=1,
+            message=f"backend contract suite {CONTRACT_SUITE} is missing; "
+                    f"registered backends are untested by contract",
+            snippet="contract-suite", severity=spec.severity,
+        )]
+    tree = ast.parse(suite.read_text(encoding="utf-8"))
+    discovers = any(
+        isinstance(node, ast.Call) and (
+            (isinstance(node.func, ast.Name) and
+             node.func.id == "available_backends") or
+            (isinstance(node.func, ast.Attribute) and
+             node.func.attr == "available_backends")
+        )
+        for node in ast.walk(tree)
+    )
+    if not discovers:
+        return [Finding(
+            rule=spec.id, path=CONTRACT_SUITE, line=1, col=1,
+            message="contract suite does not call available_backends(); "
+                    "newly registered backends would silently skip the "
+                    "contract tests",
+            snippet="contract-suite", severity=spec.severity,
+        )]
+    return []
+
+
+# --------------------------------------------------------------------------
+# RPD103 — CLI reachability of registered methods.
+
+@register_deep_check(DeepSpec(
+    id="RPD103",
+    name="cli-reachable-methods",
+    description="every registered method name is reachable through the "
+                "CLI solve --method / sweep --methods options",
+    fronts_for="PR 3 uniform front door: `repro info` lists what "
+               "`repro solve --method` accepts "
+               "(tests/integration/test_cli.py)",
+))
+def check_cli_reachability(ctx) -> list[Finding]:
+    import argparse
+
+    import repro
+    from repro import cli
+
+    spec = check_cli_reachability.spec
+    findings = []
+    parser = cli._build_parser()
+    subparsers = next(
+        (action for action in parser._actions
+         if isinstance(action, argparse._SubParsersAction)),
+        None,
+    )
+    commands = dict(subparsers.choices) if subparsers is not None else {}
+    for command, option in (("solve", "--method"), ("sweep", "--methods")):
+        sub = commands.get(command)
+        if sub is None:
+            findings.append(Finding(
+                rule=spec.id, path="src/repro/cli.py", line=1, col=1,
+                message=f"CLI has no {command!r} subcommand; registered "
+                        f"methods are unreachable from the command line",
+                snippet=f"cli:{command}", severity=spec.severity,
+            ))
+            continue
+        action = next(
+            (a for a in sub._actions if option in a.option_strings), None
+        )
+        if action is None:
+            findings.append(Finding(
+                rule=spec.id, path="src/repro/cli.py", line=1, col=1,
+                message=f"CLI {command!r} lacks the {option} option; "
+                        f"registered methods are unreachable",
+                snippet=f"cli:{command}", severity=spec.severity,
+            ))
+            continue
+        if action.choices is not None:
+            # A hard-coded choices list must cover the whole registry
+            # (None means the command validates against the registry at
+            # runtime, which tracks new registrations automatically).
+            missing = sorted(
+                set(repro.available_methods()) - set(action.choices)
+            )
+            if missing:
+                findings.append(Finding(
+                    rule=spec.id, path="src/repro/cli.py", line=1, col=1,
+                    message=f"CLI {command} {option} hard-codes choices "
+                            f"missing registered methods {missing}; drop "
+                            f"the choices list or extend it",
+                    snippet=f"cli:{command}", severity=spec.severity,
+                ))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# RPD104 — no dead public exports on the hardware layer.
+
+def _module_identifiers(tree: ast.AST) -> set[str]:
+    """Every Name/Attribute/import identifier appearing in a module."""
+    identifiers: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            identifiers.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            identifiers.add(node.attr)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                identifiers.add(alias.name.split(".")[-1])
+                if alias.asname:
+                    identifiers.add(alias.asname)
+    return identifiers
+
+
+def _builder_imported_modules() -> set[str]:
+    """Module names imported inside registered backend builders/factories."""
+    import repro
+
+    modules: set[str] = set()
+    for name in repro.available_backends():
+        builder = repro.backend_info(name).builder
+        try:
+            source = textwrap.dedent(inspect.getsource(builder))
+        except (TypeError, OSError):
+            continue
+        for node in ast.walk(ast.parse(source)):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                modules.add(node.module)
+            elif isinstance(node, ast.Import):
+                modules.update(alias.name for alias in node.names)
+    return modules
+
+
+@register_deep_check(DeepSpec(
+    id="RPD104",
+    name="no-dead-ising-exports",
+    description="repro.ising exports nothing that is neither wired into "
+                "a registered backend nor referenced elsewhere in src/",
+    fronts_for="ROADMAP higher-order promotion debt: exports must either "
+               "register behind the AnnealingBackend protocol or be "
+               "consumed by the platform",
+))
+def check_ising_exports(ctx) -> list[Finding]:
+    import repro.ising as ising
+
+    spec = check_ising_exports.spec
+    findings = []
+    registered_modules = _builder_imported_modules()
+    init_path = Path(ising.__file__).resolve()
+
+    src_root = ctx.repo_root / "src" / "repro"
+    identifier_cache: dict[Path, set[str]] = {}
+
+    for name in getattr(ising, "__all__", []):
+        obj = getattr(ising, name, None)
+        module_name = getattr(obj, "__module__", None)
+        if module_name in registered_modules:
+            continue  # wired into a registered backend builder
+        try:
+            defining = Path(inspect.getsourcefile(obj)).resolve()
+        except (TypeError, OSError):  # builtins / dynamically-built objects
+            defining = None
+        referenced = False
+        for source in sorted(src_root.rglob("*.py")):
+            resolved = source.resolve()
+            if resolved in (init_path, defining):
+                continue
+            if resolved not in identifier_cache:
+                try:
+                    tree = ast.parse(source.read_text(encoding="utf-8"))
+                except SyntaxError:
+                    identifier_cache[resolved] = set()
+                else:
+                    identifier_cache[resolved] = _module_identifiers(tree)
+            if name in identifier_cache[resolved]:
+                referenced = True
+                break
+        if not referenced:
+            findings.append(_symbol_finding(
+                ctx, spec, obj, f"export:{name}",
+                f"repro.ising exports {name!r} but no registered backend "
+                f"wires it in and nothing else under src/ references it "
+                f"(register it behind the AnnealingBackend protocol or "
+                f"stop exporting)",
+                fallback_path="src/repro/ising/__init__.py",
+            ))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# RPD105 — docstring accuracy of registry-listed entry points.
+
+#: Entry points whose docstrings must name every field the implementation
+#: touches: (module, qualified name, base variables whose attribute reads
+#: define the documented contract).
+DOCSTRING_CONTRACTS = (
+    ("repro.runtime.executor", "fused_blockers", ("job", "first")),
+    ("repro.runtime.executor", "SolveManyStats.summary", ("self",)),
+)
+
+_KNOB_PATTERN = re.compile(r"'(\w+)'\s*:")
+
+
+def _resolve_qualname(module_name: str, qualname: str):
+    import importlib
+
+    obj = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def _attribute_reads(func, bases) -> set[str]:
+    """Attribute names read off the ``bases`` variables in ``func``."""
+    source = textwrap.dedent(inspect.getsource(func))
+    tree = ast.parse(source)
+    reads: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and \
+                isinstance(node.value, ast.Name) and node.value.id in bases:
+            reads.add(node.attr)
+    return reads
+
+
+@register_deep_check(DeepSpec(
+    id="RPD105",
+    name="docstring-accuracy",
+    description="registry descriptions name real builder knobs, and "
+                "contract entry-point docstrings mention every field the "
+                "implementation reads",
+    fronts_for="PR 6 executor strategy contract: fused_blockers / "
+               "SolveManyStats.summary document exactly what they check "
+               "and print (tests/runtime/test_executor.py)",
+))
+def check_docstring_accuracy(ctx, contracts=None) -> list[Finding]:
+    import repro
+
+    spec = check_docstring_accuracy.spec
+    findings = []
+
+    # (a) backend descriptions: every 'knob': mentioned in the description
+    # must be a real parameter of the registered builder.
+    for name in repro.available_backends():
+        entry = repro.backend_info(name)
+        if not entry.description:
+            findings.append(_symbol_finding(
+                ctx, spec, entry.builder, f"backend:{name}",
+                f"backend {name!r} is registered without a description; "
+                f"`repro info` renders an empty row",
+            ))
+            continue
+        try:
+            parameters = set(inspect.signature(entry.builder).parameters)
+        except (TypeError, ValueError):
+            continue
+        ghosts = sorted(
+            knob for knob in _KNOB_PATTERN.findall(entry.description)
+            if knob not in parameters
+        )
+        if ghosts:
+            findings.append(_symbol_finding(
+                ctx, spec, entry.builder, f"backend:{name}",
+                f"backend {name!r} description documents builder knobs "
+                f"{ghosts} that its builder does not accept "
+                f"(valid: {sorted(parameters)})",
+            ))
+    for name in repro.available_methods():
+        entry = repro.method_info(name)
+        if not entry.description:
+            findings.append(_symbol_finding(
+                ctx, spec, entry.runner, f"method:{name}",
+                f"method {name!r} is registered without a description; "
+                f"`repro info` renders an empty row",
+            ))
+
+    # (b) behavioural entry points: the docstring must mention every
+    # field the implementation actually reads off its contract objects —
+    # this is what catches docstrings drifting behind the code.
+    for module_name, qualname, bases in (
+        DOCSTRING_CONTRACTS if contracts is None else contracts
+    ):
+        try:
+            func = _resolve_qualname(module_name, qualname)
+        except (ImportError, AttributeError) as error:
+            findings.append(Finding(
+                rule=spec.id, path="src/repro", line=1, col=1,
+                message=f"docstring contract target {module_name}."
+                        f"{qualname} is unresolvable: {error}",
+                snippet=f"doc:{qualname}", severity=spec.severity,
+            ))
+            continue
+        doc = inspect.getdoc(func) or ""
+        symbol = f"doc:{qualname}"
+        if not doc:
+            findings.append(_symbol_finding(
+                ctx, spec, func, symbol,
+                f"{qualname} has no docstring; it is a registry-listed "
+                f"entry point and documents a behavioural contract",
+            ))
+            continue
+        reads = _attribute_reads(func, set(bases))
+        undocumented = sorted(
+            attr for attr in reads
+            if not re.search(rf"\b{re.escape(attr)}\b", doc)
+        )
+        if undocumented:
+            findings.append(_symbol_finding(
+                ctx, spec, func, symbol,
+                f"{qualname} docstring drifted behind the implementation: "
+                f"it reads {undocumented} without mentioning them",
+            ))
+    return findings

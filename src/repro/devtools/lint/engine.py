@@ -1,0 +1,218 @@
+"""The reprolint engine: discover files, run both passes, apply baseline.
+
+``run_lint(paths, config)`` is the library surface (the CLI and the test
+suite both call it): it walks the target paths, runs every enabled AST
+rule on each file, runs the registered deep checks once, filters inline
+``# reprolint: disable=RPL004`` pragmas and config ignores, and splits
+the surviving findings against the committed baseline.
+
+Exit-code contract (what CI gates on):
+
+- 0 — no new findings, no stale baseline entries
+- 1 — new findings and/or stale baseline entries
+- 2 — usage/configuration error
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.lint import deep as deep_module
+from repro.devtools.lint import rules as rules_module
+from repro.devtools.lint.config import (
+    BaselineSplit,
+    LintConfig,
+    apply_baseline,
+    load_baseline,
+)
+from repro.devtools.lint.rules import Finding
+
+#: Inline suppression: ``# reprolint: disable=RPL001,RPL004`` or
+#: ``# reprolint: disable=all`` on the flagged line.
+_PRAGMA = re.compile(r"#\s*reprolint:\s*disable=([\w,\s]+)")
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)  # post-filter
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale: list[str] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True iff CI should pass (no new findings, no stale entries)."""
+        return not self.new and not self.stale and not self.parse_errors
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+
+def _discover(paths) -> list[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    files: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.is_file():
+            files.add(path)
+        else:
+            raise FileNotFoundError(f"lint target {path} does not exist")
+    return sorted(files)
+
+
+def _suppressed(finding: Finding, lines: list[str]) -> bool:
+    """Whether the finding's source line carries a disable pragma."""
+    if not 1 <= finding.line <= len(lines):
+        return False
+    match = _PRAGMA.search(lines[finding.line - 1])
+    if match is None:
+        return False
+    names = {name.strip() for name in match.group(1).split(",")}
+    return "all" in names or finding.rule in names
+
+
+def lint_file(path: Path, config: LintConfig,
+              rule_ids=None) -> tuple[list[Finding], str | None]:
+    """AST-pass one file; returns (findings, parse error or None)."""
+    rel = _rel_path(path, config)
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return [], f"{rel}:{error.lineno}: syntax error: {error.msg}"
+    findings: list[Finding] = []
+    selected = rules_module.available_rules() if rule_ids is None \
+        else list(rule_ids)
+    for rule_id in selected:
+        spec = rules_module.rule_info(rule_id)
+        if not config.rule_config(rule_id).enabled:
+            continue
+        if not spec.applies_to(rel) or config.is_ignored(rel, rule_id):
+            continue
+        checker = rules_module.make_checker(rule_id, rel, lines)
+        findings.extend(checker.run(tree))
+    return (
+        [f for f in findings if not _suppressed(f, lines)],
+        None,
+    )
+
+
+def _rel_path(path: Path, config: LintConfig) -> str:
+    path = Path(path).resolve()
+    try:
+        return path.relative_to(config.repo_root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_lint(paths, config: LintConfig, *, deep: bool | None = None,
+             rule_ids=None, baseline=None) -> LintResult:
+    """Run both passes over ``paths`` and split against the baseline.
+
+    ``deep=None`` defers to the config; ``baseline`` overrides the
+    loaded baseline Counter (tests use this).
+    """
+    result = LintResult()
+    findings: list[Finding] = []
+    for path in _discover(paths):
+        rel = _rel_path(path, config)
+        if config.is_ignored(rel):
+            continue
+        result.files_checked += 1
+        file_findings, parse_error = lint_file(path, config, rule_ids)
+        if parse_error is not None:
+            result.parse_errors.append(parse_error)
+        findings.extend(file_findings)
+
+    run_deep = config.deep if deep is None else deep
+    if run_deep:
+        for finding in deep_module.run_deep_checks(config.repo_root):
+            if not config.is_ignored(finding.path, finding.rule):
+                findings.append(finding)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    result.findings = findings
+    if baseline is None:
+        baseline = load_baseline(config.baseline_path)
+    split: BaselineSplit = apply_baseline(findings, baseline)
+    result.new = split.new
+    result.baselined = split.baselined
+    result.stale = split.stale
+    if not run_deep:
+        # Deep findings were never produced this run, so their baseline
+        # entries are not evidence of fixed debt — don't flag them stale.
+        result.stale = [key for key in result.stale
+                        if not key.startswith("RPD")]
+    return result
+
+
+# --------------------------------------------------------------------------
+# Output formats.
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """Human-readable report (the default format)."""
+    out: list[str] = []
+    for error in result.parse_errors:
+        out.append(f"PARSE ERROR {error}")
+    for finding in result.new:
+        out.append(finding.render())
+    if verbose:
+        for finding in result.baselined:
+            out.append(f"{finding.render()}  [baselined]")
+    for key in result.stale:
+        out.append(
+            f"STALE baseline entry {key!r} matches no current finding; "
+            f"the baseline may only shrink - remove it"
+        )
+    out.append(
+        f"reprolint: {result.files_checked} files, "
+        f"{len(result.new)} new finding(s), "
+        f"{len(result.baselined)} baselined, "
+        f"{len(result.stale)} stale baseline entr(ies)"
+    )
+    return "\n".join(out)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (``--format json``), one JSON object."""
+    rule_table = {
+        rule_id: {
+            "name": rules_module.rule_info(rule_id).name,
+            "description": rules_module.rule_info(rule_id).description,
+            "severity": rules_module.rule_info(rule_id).severity,
+            "fronts_for": rules_module.rule_info(rule_id).fronts_for,
+        }
+        for rule_id in rules_module.available_rules()
+    }
+    rule_table.update({
+        check_id: {
+            "name": deep_module.deep_check_info(check_id).name,
+            "description": deep_module.deep_check_info(check_id).description,
+            "severity": deep_module.deep_check_info(check_id).severity,
+            "fronts_for": deep_module.deep_check_info(check_id).fronts_for,
+        }
+        for check_id in deep_module.available_deep_checks()
+    })
+    payload = {
+        "version": 1,
+        "files_checked": result.files_checked,
+        "clean": result.clean,
+        "new": [f.to_json() for f in result.new],
+        "baselined": [f.to_json() for f in result.baselined],
+        "stale_baseline_entries": result.stale,
+        "parse_errors": result.parse_errors,
+        "rules": rule_table,
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,613 @@
+"""The AST rule pass: ``RuleSpec`` registry + the repo's contract rules.
+
+The framework mirrors the backend-registry idiom of :mod:`repro.api`: a
+rule is a :class:`RuleSpec` (id, one-line contract, severity, the runtime
+test it fronts for) registered next to its checker class, and the engine
+auto-discovers every registered rule — adding a rule is one
+``@register_rule`` away, exactly like adding a backend.
+
+Each rule encodes a *repo contract* that is otherwise policed only at
+runtime (property suites, golden pins).  The static pass catches the
+violation at review time instead of after it ships a wrong trajectory;
+``fronts_for`` names the runtime net that would have caught it late.
+
+Checkers are :class:`ast.NodeVisitor` subclasses instantiated once per
+file; they collect :class:`Finding` objects via :meth:`Rule.report`.
+Findings are identified for baseline purposes by *rule + path + stripped
+source line*, so they survive unrelated line shifts.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One contract violation, AST- or introspection-discovered."""
+
+    rule: str
+    path: str  # posix path, repo-relative when under the repo root
+    line: int
+    col: int
+    message: str
+    snippet: str  # stripped source line (AST) / symbol key (deep lint)
+    severity: str = "error"
+
+    @property
+    def key(self) -> str:
+        """Line-number-free identity used by the baseline file."""
+        return f"{self.rule}::{self.path}::{self.snippet}"
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` (the text output row)."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} [{self.severity}] {self.message}")
+
+    def to_json(self) -> dict:
+        """Machine-readable form (``--format json``)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """Registry entry for one AST rule (the ``MethodSpec`` of the linter).
+
+    ``fronts_for`` names the runtime contract/test the static rule fronts
+    for; ``paths`` restricts the rule to files whose posix path matches
+    any of the globs (empty = every linted file).
+    """
+
+    id: str
+    name: str
+    description: str
+    severity: str = "error"
+    fronts_for: str = ""
+    paths: tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule runs on ``path`` (posix string)."""
+        if not self.paths:
+            return True
+        return any(fnmatch(path, pattern) for pattern in self.paths)
+
+
+_RULES: dict[str, RuleSpec] = {}
+_CHECKERS: dict[str, type] = {}
+
+
+def register_rule(spec: RuleSpec):
+    """Class decorator registering an AST rule checker under ``spec``."""
+
+    def decorate(cls):
+        if spec.id in _RULES:
+            raise ValueError(f"rule {spec.id!r} is already registered")
+        _RULES[spec.id] = spec
+        _CHECKERS[spec.id] = cls
+        cls.spec = spec
+        return cls
+
+    return decorate
+
+
+def available_rules() -> list[str]:
+    """Registered AST rule ids, sorted."""
+    return sorted(_RULES)
+
+
+def rule_info(rule_id: str) -> RuleSpec:
+    """The :class:`RuleSpec` registered under ``rule_id``."""
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown rule {rule_id!r}; available: {available_rules()}"
+        ) from None
+
+
+def make_checker(rule_id: str, path: str, lines: list[str]) -> "Rule":
+    """Instantiate the checker class registered under ``rule_id``."""
+    rule_info(rule_id)
+    return _CHECKERS[rule_id](path, lines)
+
+
+class Rule(ast.NodeVisitor):
+    """Base class: one checker instance lints one file."""
+
+    spec: RuleSpec
+
+    def __init__(self, path: str, lines: list[str]):
+        self.path = path
+        self.lines = lines
+        self.findings: list[Finding] = []
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record a finding anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        snippet = ""
+        if 1 <= line <= len(self.lines):
+            snippet = self.lines[line - 1].strip()
+        self.findings.append(Finding(
+            rule=self.spec.id,
+            path=self.path,
+            line=line,
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            snippet=snippet,
+            severity=self.spec.severity,
+        ))
+
+    def run(self, tree: ast.AST) -> list[Finding]:
+        """Visit the whole module; return the findings."""
+        self.visit(tree)
+        return self.findings
+
+
+# --------------------------------------------------------------------------
+# Shared AST helpers.
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_float32(node: ast.AST) -> bool:
+    """Whether an expression spells the float32 dtype."""
+    if isinstance(node, ast.Constant) and node.value == "float32":
+        return True
+    dotted = _dotted(node)
+    return dotted in {"np.float32", "numpy.float32", "float32"}
+
+
+def _call_name(node: ast.Call) -> str | None:
+    """The called attribute/function name (last dotted component)."""
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+# --------------------------------------------------------------------------
+# RPL001 — seeded Generator threading only.
+
+#: Constructors/types on ``np.random`` that thread explicit seeds; anything
+#: else on the module is the legacy global-state API.
+_ALLOWED_NP_RANDOM = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+}
+
+#: stdlib ``random`` module functions that read/advance the global stream.
+_STDLIB_RANDOM_FNS = {
+    "random", "seed", "randint", "randrange", "choice", "choices",
+    "shuffle", "sample", "uniform", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "getrandbits",
+}
+
+
+@register_rule(RuleSpec(
+    id="RPL001",
+    name="no-global-rng",
+    description="no np.random.* legacy global-state RNG (or stdlib random "
+                "module) calls; thread seeded np.random.Generator streams",
+    severity="error",
+    fronts_for="PR 6 spawn_rngs wire-format pins + seeded trajectory "
+               "bit-identity suites (tests/utils/test_rng.py, "
+               "tests/ising/test_program.py)",
+))
+class NoGlobalRngRule(Rule):
+    """Global RNG state breaks per-instance bit-identity and process-pool
+    reproducibility; every stochastic entry point takes ``rng`` instead."""
+
+    def __init__(self, path, lines):
+        super().__init__(path, lines)
+        self._random_module_aliases: set[str] = set()
+
+    def visit_Import(self, node: ast.Import):
+        for alias in node.names:
+            if alias.name == "random":
+                self._random_module_aliases.add(alias.asname or "random")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom):
+        if node.module in ("numpy.random", "random"):
+            for alias in node.names:
+                if node.module == "numpy.random" and \
+                        alias.name in _ALLOWED_NP_RANDOM:
+                    continue
+                self.report(node, (
+                    f"importing {alias.name!r} from {node.module} pulls in "
+                    f"global-RNG state; thread a seeded "
+                    f"np.random.Generator (utils.rng.ensure_rng) instead"
+                ))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call):
+        dotted = _dotted(node.func) or ""
+        parts = dotted.split(".")
+        if len(parts) == 3 and parts[0] in ("np", "numpy") \
+                and parts[1] == "random" \
+                and parts[2] not in _ALLOWED_NP_RANDOM:
+            self.report(node, (
+                f"{dotted}() uses numpy's legacy global RNG; thread a "
+                f"seeded Generator (ensure_rng/spawn_rngs) instead"
+            ))
+        elif len(parts) == 2 and parts[0] in self._random_module_aliases \
+                and parts[1] in _STDLIB_RANDOM_FNS:
+            self.report(node, (
+                f"{dotted}() draws from the stdlib global RNG; thread a "
+                f"seeded np.random.Generator instead"
+            ))
+        self.generic_visit(node)
+
+
+# --------------------------------------------------------------------------
+# RPL002 — wall time stays out of the kernels.
+
+_WALLCLOCK_CALLS = {
+    "time.time", "time.monotonic", "time.perf_counter", "time.process_time",
+    "time.time_ns", "time.monotonic_ns", "time.perf_counter_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+}
+
+
+@register_rule(RuleSpec(
+    id="RPL002",
+    name="no-wallclock-in-kernels",
+    description="no wall-clock reads inside ising/ kernels; wall time "
+                "belongs to SolveReport plumbing (api/executor layer)",
+    severity="error",
+    fronts_for="SolveReport outcome equality ignores wall time "
+               "(tests/core/test_report.py); kernels must stay "
+               "value-deterministic",
+    paths=("*/ising/*", "ising/*"),
+))
+class NoWallclockInKernelsRule(Rule):
+    """A kernel that reads the clock cannot be bit-reproducible or
+    fused/replayed; timing wraps the solve at the report layer."""
+
+    def visit_Call(self, node: ast.Call):
+        dotted = _dotted(node.func)
+        if dotted in _WALLCLOCK_CALLS:
+            self.report(node, (
+                f"{dotted}() reads the wall clock inside an ising/ kernel; "
+                f"timing belongs to the SolveReport plumbing above the "
+                f"backend protocol"
+            ))
+        self.generic_visit(node)
+
+
+# --------------------------------------------------------------------------
+# RPL003 — set_fields copies, never aliases.
+
+_MAY_ALIAS_CALLS = {"asarray", "ascontiguousarray", "atleast_1d",
+                    "atleast_2d", "ravel", "reshape", "view"}
+
+
+@register_rule(RuleSpec(
+    id="RPL003",
+    name="set-fields-copies",
+    description="set_fields implementations must not store a parameter "
+                "array without an explicit copy (alias hazard)",
+    severity="error",
+    fronts_for="PR 5 copy-never-alias set_fields contract (engine reuses "
+               "one fields buffer; tests/ising/test_backend.py "
+               "reprogramming checks)",
+))
+class SetFieldsCopiesRule(Rule):
+    """The SAIM engine loops one fields buffer across iterations; a
+    machine that stores the argument (or an ``asarray`` view of it) sees
+    its Hamiltonian silently rewritten mid-solve."""
+
+    def visit_FunctionDef(self, node: ast.FunctionDef):
+        self._check(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef):
+        self._check(node)
+        self.generic_visit(node)
+
+    def _check(self, node):
+        if node.name != "set_fields":
+            return
+        params = {a.arg for a in node.args.args if a.arg != "self"}
+        params |= {a.arg for a in node.args.kwonlyargs}
+        for stmt in ast.walk(node):
+            targets: list[ast.AST] = []
+            value = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                if not isinstance(target, ast.Attribute):
+                    continue  # slice-assign (Subscript) copies; locals fine
+                aliased = self._aliases_param(value, params)
+                if aliased:
+                    self.report(stmt, (
+                        f"set_fields stores parameter {aliased!r} into "
+                        f"{_dotted(target) or 'an attribute'} without a "
+                        f"copy; the caller reuses the array — copy into a "
+                        f"machine-owned buffer (`buf[...] = {aliased}`)"
+                    ))
+
+    @staticmethod
+    def _aliases_param(value, params) -> str | None:
+        """Parameter name the RHS may alias, else None."""
+        if isinstance(value, ast.Name) and value.id in params:
+            return value.id
+        if isinstance(value, ast.Call):
+            name = _call_name(value)
+            if name in _MAY_ALIAS_CALLS and value.args:
+                first = value.args[0]
+                if isinstance(first, ast.Name) and first.id in params:
+                    return first.id
+        return None
+
+
+# --------------------------------------------------------------------------
+# RPL004 — one conversion, one copy.
+
+_SINGLE_CONVERSION_CALLS = {"asarray", "array", "ascontiguousarray"}
+
+
+@register_rule(RuleSpec(
+    id="RPL004",
+    name="no-double-conversion",
+    description="no asarray(...).astype(...) double conversion (pass "
+                "dtype= once) and no astype(...).copy() double copy",
+    severity="error",
+    fronts_for="PR 5 one-cast-one-copy set_fields sweep + program-build "
+               "allocation accounting (tests/ising/test_program.py)",
+))
+class NoDoubleConversionRule(Rule):
+    """``np.asarray(x).astype(d)`` allocates twice on hot paths where
+    ``np.asarray(x, dtype=d)`` converts once; ``astype`` (and
+    ``np.array``) already copy, so a trailing ``.copy()`` is a second
+    full-array copy."""
+
+    def visit_Call(self, node: ast.Call):
+        if isinstance(node.func, ast.Attribute) and \
+                isinstance(node.func.value, ast.Call):
+            outer = node.func.attr
+            inner = _call_name(node.func.value)
+            if outer == "astype" and inner in _SINGLE_CONVERSION_CALLS:
+                self.report(node, (
+                    f"np.{inner}(...).astype(...) converts twice; pass "
+                    f"dtype= to the single np.{inner}(x, dtype=...) call"
+                ))
+            elif outer == "copy" and inner == "astype":
+                self.report(node, (
+                    ".astype(...) already returns a fresh array; the "
+                    "trailing .copy() is a redundant second copy"
+                ))
+            elif outer == "copy" and inner == "array":
+                self.report(node, (
+                    "np.array(...) already copies by default; the "
+                    "trailing .copy() is a redundant second copy"
+                ))
+        self.generic_visit(node)
+
+
+# --------------------------------------------------------------------------
+# RPL005 — energies accumulate in float64.
+
+_ACCUMULATOR_CALLS = {"einsum", "dot", "matmul", "sum", "tensordot", "vdot"}
+
+
+@register_rule(RuleSpec(
+    id="RPL005",
+    name="float64-energy-accounting",
+    description="energy accumulation (einsum/dot feeding *energ* names) "
+                "must not pass dtype=np.float32",
+    severity="error",
+    fronts_for="PR 4 float64-energy-under-float32-storage contract "
+               "(tests/property/test_kernel_equivalence.py reported-vs-"
+               "recomputed energies; integer-weight exactness)",
+))
+class Float64EnergyAccountingRule(Rule):
+    """Storage may be float32; energy *accounting* is float64 so
+    integer-weight Hamiltonians report exact energies in both storage
+    precisions.  A float32 accumulator breaks the dtype-parity pins."""
+
+    def visit_Assign(self, node: ast.Assign):
+        if any(self._is_energy_target(t) for t in node.targets):
+            self._check_value(node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign):
+        if self._is_energy_target(node.target):
+            self._check_value(node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign):
+        if node.value is not None and self._is_energy_target(node.target):
+            self._check_value(node.value)
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_energy_target(target: ast.AST) -> bool:
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        elif isinstance(target, ast.Subscript):
+            name = _dotted(target.value)
+        return name is not None and "energ" in name.lower()
+
+    def _check_value(self, value: ast.AST):
+        for sub in ast.walk(value):
+            if not isinstance(sub, ast.Call):
+                continue
+            name = _call_name(sub)
+            if name in _ACCUMULATOR_CALLS:
+                for kw in sub.keywords:
+                    if kw.arg == "dtype" and _is_float32(kw.value):
+                        self.report(sub, (
+                            f"{name}(dtype=float32) feeds an energy "
+                            f"accumulator; energies are accounted in "
+                            f"float64 regardless of storage dtype"
+                        ))
+            elif name == "astype" and sub.args and _is_float32(sub.args[0]):
+                self.report(sub, (
+                    "casting an energy accumulation to float32; energies "
+                    "are accounted in float64 regardless of storage dtype"
+                ))
+
+
+# --------------------------------------------------------------------------
+# RPL006 — no mutable default arguments in public API.
+
+_MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray", "defaultdict",
+                      "Counter", "deque"}
+
+
+@register_rule(RuleSpec(
+    id="RPL006",
+    name="no-mutable-default",
+    description="public functions/methods must not use mutable default "
+                "arguments (shared state across calls)",
+    severity="error",
+    fronts_for="registry/front-door idempotence: repeated repro.solve "
+               "calls must not share hidden state "
+               "(tests/integration/test_solve_api.py)",
+))
+class NoMutableDefaultRule(Rule):
+    """A mutable default is one shared object across every call — the
+    classic way repeated solves stop being independent."""
+
+    def visit_FunctionDef(self, node: ast.FunctionDef):
+        self._check(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef):
+        self._check(node)
+        self.generic_visit(node)
+
+    def _check(self, node):
+        public = not node.name.startswith("_") or (
+            node.name.startswith("__") and node.name.endswith("__")
+        )
+        if not public:
+            return
+        args = node.args
+        named = args.posonlyargs + args.args
+        defaults = list(args.defaults)
+        pairs = list(zip(named[len(named) - len(defaults):], defaults))
+        pairs += [(a, d) for a, d in zip(args.kwonlyargs, args.kw_defaults)
+                  if d is not None]
+        for arg, default in pairs:
+            if self._is_mutable(default):
+                self.report(default, (
+                    f"mutable default for {arg.arg!r} in public "
+                    f"{node.name}(); one object is shared across every "
+                    f"call — default to None and build inside"
+                ))
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return _call_name(node) in _MUTABLE_FACTORIES
+        return False
+
+
+# --------------------------------------------------------------------------
+# RPL007 — job/report payloads stay picklable.
+
+_PICKLED_CONSTRUCTORS = {"SolveJob", "SolveReport", "JobOutcome"}
+
+
+@register_rule(RuleSpec(
+    id="RPL007",
+    name="picklable-payloads",
+    description="SolveJob/SolveReport detail payloads must not embed "
+                "lambdas or nested functions (process-pool picklability)",
+    severity="error",
+    fronts_for="PR 2/3 SolveJob pickle round-trip + serial-vs-executor "
+               "report equality (tests/runtime/test_executor.py)",
+))
+class PicklablePayloadsRule(Rule):
+    """Jobs and report details cross the ``ProcessPoolExecutor`` boundary;
+    a lambda in the payload pickles in-process (max_workers=1) and then
+    explodes the first time the pool shards it."""
+
+    def visit_Call(self, node: ast.Call):
+        name = _call_name(node)
+        suspect_args: list[ast.AST] = []
+        if name in _PICKLED_CONSTRUCTORS:
+            suspect_args = list(node.args) + [
+                kw.value for kw in node.keywords if kw.arg != "detail"
+            ]
+        # detail= is the report payload wherever the call appears
+        suspect_args += [kw.value for kw in node.keywords
+                         if kw.arg == "detail"]
+        for arg in suspect_args:
+            for sub in ast.walk(arg):
+                if isinstance(sub, (ast.Lambda, ast.FunctionDef)):
+                    where = f"{name}(...)" if name else "a detail= payload"
+                    self.report(sub, (
+                        f"lambda/closure embedded in {where}; the payload "
+                        f"must pickle across the process pool — pass data, "
+                        f"not code"
+                    ))
+                    break
+        self.generic_visit(node)
+
+
+# --------------------------------------------------------------------------
+# RPL008 — no bare or swallowed exceptions.
+
+@register_rule(RuleSpec(
+    id="RPL008",
+    name="no-swallowed-exceptions",
+    description="no bare `except:` anywhere; no except-pass swallowing "
+                "(failures must reach the JobOutcome.error channel)",
+    severity="error",
+    fronts_for="PR 2 executor error contract: worker failures surface as "
+               "JobOutcome.error, never vanish "
+               "(tests/runtime/test_executor.py failure-path tests)",
+))
+class NoSwallowedExceptionsRule(Rule):
+    """A swallowed exception in the runtime layer turns a wrong answer
+    into a silent one; the executor's contract is that every failure
+    reaches the outcome channel with a traceback."""
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler):
+        if node.type is None:
+            self.report(node, (
+                "bare `except:` catches SystemExit/KeyboardInterrupt too; "
+                "name the exceptions (or `except Exception` with handling)"
+            ))
+        elif all(isinstance(stmt, ast.Pass) or
+                 (isinstance(stmt, ast.Expr) and
+                  isinstance(stmt.value, ast.Constant) and
+                  stmt.value.value is Ellipsis)
+                 for stmt in node.body):
+            self.report(node, (
+                "exception swallowed with a pass-only handler; record, "
+                "re-raise, or route it to the error channel"
+            ))
+        self.generic_visit(node)

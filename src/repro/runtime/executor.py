@@ -179,7 +179,13 @@ class SolveManyStats:
     strategy: str = "process"
 
     def summary(self) -> str:
-        """One-line human-readable digest."""
+        """One-line digest of the batch.
+
+        Renders ``num_ok``/``num_jobs``, ``wall_seconds``, the resolved
+        ``strategy`` tag, ``jobs_per_second``, ``speedup_vs_serial``, and
+        the incumbent ``best_cost`` (``nan`` when no job produced a
+        feasible incumbent).
+        """
         return (
             f"{self.num_ok}/{self.num_jobs} jobs ok in "
             f"{self.wall_seconds:.2f}s wall "
@@ -295,11 +301,14 @@ def fused_blockers(jobs) -> list:
     """Why this batch can NOT run under ``strategy="fused"`` (empty = can).
 
     The fused path packs every job into one block-diagonal p-bit fleet
-    sharing a single kernel scan, so the jobs must agree on everything that
-    shapes that scan: SAIM method, p-bit backend, one config (base +
-    overrides), one replica count / aggregate mode, random restarts, no
-    method options.  Per-job ``rng`` and ``initial_lambdas`` stay free —
-    the fleet engine keeps those per instance.
+    sharing a single kernel scan, so the jobs must agree on everything
+    that shapes that scan: the ``method`` must be ``'saim'`` on the
+    ``backend`` ``None``/``'pbit'`` with ``restart='random'`` and no
+    ``method_options``, and ``num_replicas``, ``aggregate``, ``config``,
+    ``config_overrides``, and ``backend_options`` must match across the
+    batch (jobs[0] is the reference).  Per-job ``rng`` and
+    ``initial_lambdas`` stay free — the fleet engine keeps those per
+    instance.
     """
     jobs = _check_jobs(jobs)
     blockers = []
