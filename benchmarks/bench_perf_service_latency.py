@@ -1,0 +1,282 @@
+"""Perf — solver-service request latency: cold vs warm program residency.
+
+The service's pitch (and this bench's question) is amortisation: a
+persistent worker keeps the O(N^2) ``AnnealProgram`` build resident
+across requests, so a repeat instance pays only the solve, not the
+setup.  The bench drives a live :class:`repro.service.SolverService`
+(real HTTP over an ephemeral loopback port, stdlib ``urllib`` clients)
+through two phases:
+
+- **cold** — every instance submitted once against an empty cache; each
+  request pays the program build (``cold_starts``);
+- **warm** — the same instances re-submitted ``warm_repeats`` times with
+  fresh seeds; every request adopts the resident program
+  (``warm_hits``).
+
+Both phases run >= 2 concurrent client threads against one worker, so
+the queue and the HTTP front door are exercised under concurrency while
+residency stays deterministic (one worker == one cache).  Per-request
+wall latency is measured at the client; the record reports p50/p99 for
+each phase, sustained jobs/sec over the warm phase, and the exact cache
+counters.  Every cold request plus one warm request per instance is
+re-solved in process and asserted **bit-identical** to the served
+report — the latency numbers are only meaningful if the service returns
+the same answers as ``repro.solve``.
+
+Results are archived as ``benchmarks/output/BENCH_service_latency.json``;
+smoke runs also mirror the record to the repo root as the committed perf
+trajectory.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_perf_service_latency.py [--smoke]
+
+or through pytest-benchmark::
+
+    REPRO_SCALE=ci PYTHONPATH=src python -m pytest benchmarks/bench_perf_service_latency.py
+
+The warm-vs-cold p50 comparison needs a quiet multi-core host, so the
+wall-time assertion only arms at non-smoke scale on >= 4 CPUs (the CI
+runners); the cache-counter and bit-identity assertions always arm.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import archive_bench_json  # noqa: E402
+
+import repro  # noqa: E402
+from repro.problems.generators import generate_qkp  # noqa: E402
+from repro.runtime import SolveJob  # noqa: E402
+from repro.service import SolverService  # noqa: E402
+from repro.service.codec import job_to_wire, report_from_wire  # noqa: E402
+
+# The solve budget stays small on purpose: the bench isolates the
+# request-path overhead the service amortises (program build + HTTP +
+# queue), which a long anneal would drown out.
+_BUDGETS = {
+    "smoke": dict(num_instances=4, warm_repeats=2, num_items=120,
+                  iterations=3, mcs=20, clients=2),
+    "ci": dict(num_instances=8, warm_repeats=4, num_items=500,
+               iterations=3, mcs=15, clients=4),
+    "full": dict(num_instances=16, warm_repeats=6, num_items=800,
+                 iterations=4, mcs=20, clients=4),
+}
+
+
+def _scale_name() -> str:
+    name = os.environ.get("REPRO_SCALE", "ci").lower()
+    return name if name in _BUDGETS else "ci"
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually schedule on."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (no numpy needed for a latency summary)."""
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def _post_solve(base: str, payload: dict) -> tuple[float, dict]:
+    """POST one wire job synchronously; returns (wall_seconds, body)."""
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        base + "/v1/solve", data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    start = time.perf_counter()
+    with urllib.request.urlopen(request, timeout=600.0) as response:
+        decoded = json.loads(response.read())
+        status = response.status
+    wall = time.perf_counter() - start
+    if status != 200 or decoded.get("status") != "done":
+        raise AssertionError(f"solve failed ({status}): {decoded}")
+    return wall, decoded
+
+
+def _run_phase(base: str, requests: list[tuple[int, int, dict]],
+               num_clients: int) -> tuple[list[dict], float]:
+    """Fan ``requests`` over ``num_clients`` threads; collect latencies."""
+    records: list[dict] = []
+    lock = threading.Lock()
+    errors: list[BaseException] = []
+
+    def client(worklist):
+        for instance_id, seed, payload in worklist:
+            try:
+                wall, body = _post_solve(base, payload)
+            except BaseException as exc:  # surfaced after join
+                with lock:
+                    errors.append(exc)
+                return
+            with lock:
+                records.append({
+                    "instance": instance_id,
+                    "seed": seed,
+                    "latency_seconds": wall,
+                    "report": body["report"],
+                })
+
+    shards = [requests[i::num_clients] for i in range(num_clients)]
+    threads = [threading.Thread(target=client, args=(shard,))
+               for shard in shards if shard]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return records, wall
+
+
+def run_service_latency_bench(scale: str | None = None) -> dict:
+    """Race cold vs warm request latency; archive and return the record."""
+    scale = scale or _scale_name()
+    budget = _BUDGETS[scale]
+    overrides = dict(num_iterations=budget["iterations"],
+                     mcs_per_run=budget["mcs"])
+    instances = {
+        index: generate_qkp(budget["num_items"], 0.5, rng=7000 + index)
+        for index in range(budget["num_instances"])
+    }
+
+    def wire(instance_id: int, seed: int) -> tuple[int, int, dict]:
+        job = SolveJob(instances[instance_id], rng=seed,
+                       config_overrides=dict(overrides))
+        return (instance_id, seed, job_to_wire(job))
+
+    # Warm up numpy/BLAS first-call costs outside the timed phases.
+    repro.solve(instances[0], rng=0, **overrides)
+
+    cold_jobs = [wire(index, 100 + index) for index in instances]
+    warm_jobs = [
+        wire(index, 1000 + 97 * repeat + index)
+        for repeat in range(budget["warm_repeats"])
+        for index in instances
+    ]
+
+    with SolverService(port=0, num_workers=1, queue_depth=256) as live:
+        host, port = live.address
+        base = f"http://{host}:{port}"
+        cold_records, _ = _run_phase(base, cold_jobs, budget["clients"])
+        warm_records, warm_wall = _run_phase(base, warm_jobs,
+                                             budget["clients"])
+        stats = live.pool.stats()
+
+    worker = stats["workers"][0]
+    if worker["cold_starts"] != len(instances):
+        raise AssertionError(
+            f"expected {len(instances)} cold starts, saw "
+            f"{worker['cold_starts']}"
+        )
+    if worker["warm_hits"] != len(warm_jobs):
+        raise AssertionError(
+            f"expected {len(warm_jobs)} warm hits, saw {worker['warm_hits']}"
+        )
+
+    # Bit-identity audit: every cold request plus the first warm request
+    # per instance, checked against an in-process solve of the same seed.
+    first_warm = {}
+    for record in warm_records:
+        first_warm.setdefault(record["instance"], record)
+    audited = cold_records + list(first_warm.values())
+    for record in audited:
+        direct = repro.solve(instances[record["instance"]],
+                             rng=record["seed"], **overrides)
+        served = report_from_wire(record["report"])
+        if served != direct:
+            raise AssertionError(
+                f"service diverged from repro.solve on instance "
+                f"{record['instance']} seed {record['seed']}"
+            )
+
+    cold_ms = [r["latency_seconds"] * 1e3 for r in cold_records]
+    warm_ms = [r["latency_seconds"] * 1e3 for r in warm_records]
+    report = {
+        "bench": "service_latency",
+        "scale": scale,
+        "timestamp": time.time(),
+        "available_cpus": available_cpus(),
+        "num_instances": budget["num_instances"],
+        "num_items": budget["num_items"],
+        "clients": budget["clients"],
+        "warm_repeats": budget["warm_repeats"],
+        "iterations": budget["iterations"],
+        "mcs_per_run": budget["mcs"],
+        "cold": {
+            "count": len(cold_ms),
+            "p50_ms": _percentile(cold_ms, 50),
+            "p99_ms": _percentile(cold_ms, 99),
+        },
+        "warm": {
+            "count": len(warm_ms),
+            "p50_ms": _percentile(warm_ms, 50),
+            "p99_ms": _percentile(warm_ms, 99),
+        },
+        "warm_speedup_p50":
+            _percentile(cold_ms, 50) / _percentile(warm_ms, 50),
+        "jobs_per_second": len(warm_jobs) / warm_wall,
+        "cache": {
+            "cold_starts": worker["cold_starts"],
+            "warm_hits": worker["warm_hits"],
+            "program_entries": worker["program_entries"],
+        },
+        "bit_identical_audited": len(audited),
+    }
+    out_path = archive_bench_json("service_latency", report)
+
+    print(f"\nservice latency ({scale} scale, {available_cpus()} CPUs, "
+          f"{budget['clients']} clients, N={budget['num_items']}):")
+    print(f"  cold  p50 {report['cold']['p50_ms']:8.2f} ms   "
+          f"p99 {report['cold']['p99_ms']:8.2f} ms   "
+          f"({report['cold']['count']} requests)")
+    print(f"  warm  p50 {report['warm']['p50_ms']:8.2f} ms   "
+          f"p99 {report['warm']['p99_ms']:8.2f} ms   "
+          f"({report['warm']['count']} requests)")
+    print(f"  warm speedup (p50) {report['warm_speedup_p50']:.2f}x, "
+          f"sustained {report['jobs_per_second']:.1f} jobs/s, "
+          f"{report['bit_identical_audited']} reports audited bit-identical")
+    print(f"archived {out_path}")
+    return report
+
+
+def test_perf_service_latency(benchmark):
+    """Warm residency must not lose to cold setup on a quiet host."""
+    report = benchmark.pedantic(
+        run_service_latency_bench, rounds=1, iterations=1, warmup_rounds=0
+    )
+    # Always-armed: the residency accounting and the audit happened.
+    assert report["cache"]["cold_starts"] == report["num_instances"]
+    assert report["cache"]["warm_hits"] == (
+        report["num_instances"] * report["warm_repeats"]
+    )
+    assert report["bit_identical_audited"] >= 2 * report["num_instances"]
+    if report["scale"] != "smoke" and report["available_cpus"] >= 4:
+        # Wall-clock comparison needs a quiet multi-core host (the CI
+        # runners); small containers report honest numbers without
+        # gating on them.
+        assert report["warm"]["p50_ms"] < report["cold"]["p50_ms"], (
+            f"warm p50 {report['warm']['p50_ms']:.2f} ms did not beat "
+            f"cold p50 {report['cold']['p50_ms']:.2f} ms"
+        )
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        os.environ["REPRO_SCALE"] = "smoke"
+    run_service_latency_bench()

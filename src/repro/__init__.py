@@ -94,13 +94,15 @@ from repro.problems import (
     paper_mkp_instance,
 )
 
-__version__ = "2.4.0"
+__version__ = "2.5.0"
 
 # The sweep drivers live under repro.analysis, whose package import pulls in
 # the whole experiment harness; resolve them lazily so `import repro` (and
-# every executor worker process) stays light.
+# every executor worker process) stays light.  The service layer is lazy
+# for the same reason: solver workers must not drag the HTTP stack in.
 _SWEEP_EXPORTS = ("ParameterSweep", "BackendSweep", "BackendSweepReport",
                   "sweep_backends")
+_SERVICE_EXPORTS = ("SolverService", "ServicePool", "RequestLogger")
 
 
 def __getattr__(name):
@@ -108,6 +110,12 @@ def __getattr__(name):
         from repro.analysis import sweep as _sweep
 
         value = getattr(_sweep, name)
+        globals()[name] = value
+        return value
+    if name in _SERVICE_EXPORTS:
+        from repro import service as _service
+
+        value = getattr(_service, name)
         globals()[name] = value
         return value
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
@@ -126,6 +134,9 @@ __all__ = [
     "SolveManyStats",
     "SolveReport",
     "SolverSession",
+    "SolverService",
+    "ServicePool",
+    "RequestLogger",
     "ParameterSweep",
     "BackendSweep",
     "BackendSweepReport",

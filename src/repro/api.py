@@ -477,14 +477,22 @@ def _resolve_builder_dtype(default: str | None):
     return default
 
 
-def _pbit_builder(dtype: str | None = None, kernel: str = "lockstep"):
+def _pbit_builder(dtype: str | None = None, kernel: str = "lockstep",
+                  program_cache=None):
     from repro.ising.pbit import PBitMachine
 
     default = _resolve_builder_dtype(dtype)
 
     def factory(model, rng=None, dtype=None):
-        return PBitMachine(model, rng=rng, dtype=dtype or default,
-                           kernel=kernel)
+        machine = PBitMachine(model, rng=rng, dtype=dtype or default,
+                              kernel=kernel)
+        if program_cache is not None:
+            # Service warm path: bind the machine to a resident
+            # AnnealProgram keyed by coupling content (see
+            # repro.service.pool.ProgramCache), skipping the O(N^2)
+            # block decomposition on repeat instances.
+            program_cache.bind(machine)
+        return machine
 
     return factory
 
@@ -502,15 +510,20 @@ def _metropolis_builder(dtype: str | None = None, kernel: str = "serial"):
 
 
 def _quantized_builder(bits: int = 8, dtype: str | None = None,
-                       kernel: str = "lockstep"):
+                       kernel: str = "lockstep", program_cache=None):
     from repro.ising.quantization import QuantizedPBitMachine
 
     default = _resolve_builder_dtype(dtype)
 
     def factory(model, rng=None, dtype=None):
-        return QuantizedPBitMachine(
+        machine = QuantizedPBitMachine(
             model, bits=bits, rng=rng, dtype=dtype or default, kernel=kernel
         )
+        if program_cache is not None:
+            # Keyed by the quantized coupling content, so different bit
+            # depths of the same instance cache separate programs.
+            program_cache.bind(machine)
+        return machine
 
     return factory
 
@@ -828,7 +841,8 @@ register_backend(
     "pbit", _pbit_builder,
     description="probabilistic-bit machine of paper Section III-B "
                 "(backend_options={'dtype': 'float32'} for the fast scan, "
-                "{'kernel': 'serial'} for the pure-python R=1 reference)",
+                "{'kernel': 'serial'} for the pure-python R=1 reference, "
+                "{'program_cache': ...} for service-resident programs)",
 )
 register_backend(
     "metropolis", _metropolis_builder,
@@ -838,7 +852,8 @@ register_backend(
 )
 register_backend(
     "quantized", _quantized_builder,
-    description="fixed-point p-bit machine (backend_options={'bits': 8})",
+    description="fixed-point p-bit machine (backend_options={'bits': 8}; "
+                "{'program_cache': ...} for service-resident programs)",
 )
 register_backend(
     "chromatic", _chromatic_builder,

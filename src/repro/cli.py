@@ -116,6 +116,39 @@ def _build_parser() -> argparse.ArgumentParser:
                             "only)")
     solve.add_argument("--seed", type=int, default=0)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the solver-as-a-service daemon: a persistent worker "
+             "pool (resident AnnealProgram + multiplier caches) behind "
+             "an HTTP/JSON front end (POST /v1/solve, GET /v1/jobs/<id>, "
+             "/v1/health, /v1/stats)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8421,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default 8421)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="persistent solver workers (default 2)")
+    serve.add_argument(
+        "--worker-mode", choices=("process", "thread"), default="process",
+        help="worker residency: long-lived processes (default; true "
+             "parallelism) or in-process threads (zero startup, "
+             "GIL-shared)",
+    )
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="queue high-water mark; submissions above it "
+                            "are rejected with HTTP 429 (default 64)")
+    serve.add_argument("--session-max-entries", type=int, default=1024,
+                       help="per-worker LRU bound on cached multiplier "
+                            "vectors (default 1024)")
+    serve.add_argument("--program-max-entries", type=int, default=32,
+                       help="per-worker LRU bound on resident "
+                            "AnnealPrograms (default 32)")
+    serve.add_argument("--log", default="-", metavar="PATH",
+                       help="request log destination: one JSON line per "
+                            "request ('-' = stderr, default)")
+
     sweep = sub.add_parser(
         "sweep",
         help="compare methods x backends x replica counts on one instance "
@@ -508,6 +541,38 @@ def _solve(args) -> int:
     return 1
 
 
+def _serve(args) -> int:
+    """Run the solver service in the foreground until interrupted."""
+    from repro.service import RequestLogger, ServicePool, SolverService
+
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    if args.queue_depth < 1:
+        raise SystemExit(f"--queue-depth must be >= 1, got {args.queue_depth}")
+    logger = (RequestLogger() if args.log == "-"
+              else RequestLogger.open(args.log))
+    pool = ServicePool(
+        args.workers, mode=args.worker_mode, queue_depth=args.queue_depth,
+        session_max_entries=args.session_max_entries,
+        program_max_entries=args.program_max_entries, logger=logger,
+    )
+    service = SolverService(args.host, args.port, pool=pool)
+    service.start()
+    host, port = service.address
+    print(f"repro solver service on http://{host}:{port} "
+          f"({args.workers} {args.worker_mode} workers, queue depth "
+          f"{args.queue_depth}); POST /v1/solve, GET /v1/health — "
+          f"Ctrl-C to stop")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("interrupted; service stopped")
+        return 0
+    finally:
+        logger.close()
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     if argv is None:
@@ -551,6 +616,9 @@ def main(argv=None) -> int:
 
     if args.command == "info":
         return _info()
+
+    if args.command == "serve":
+        return _serve(args)
 
     if args.command == "sweep":
         return _sweep(args)

@@ -230,10 +230,13 @@ def check_contract_suite(ctx) -> list[Finding]:
     id="RPD103",
     name="cli-reachable-methods",
     description="every registered method name is reachable through the "
-                "CLI solve --method / sweep --methods options",
+                "CLI solve --method / sweep --methods options, and the "
+                "solver service is reachable through `repro serve` "
+                "(--port/--workers)",
     fronts_for="PR 3 uniform front door: `repro info` lists what "
                "`repro solve --method` accepts "
-               "(tests/integration/test_cli.py)",
+               "(tests/integration/test_cli.py); PR 8 service front "
+               "door: `repro serve` is the daemon entry point",
 ))
 def check_cli_reachability(ctx) -> list[Finding]:
     import argparse
@@ -285,6 +288,29 @@ def check_cli_reachability(ctx) -> list[Finding]:
                             f"missing registered methods {missing}; drop "
                             f"the choices list or extend it",
                     snippet=f"cli:{command}", severity=spec.severity,
+                ))
+    # The solver service is a front-door surface too: `repro serve` must
+    # exist and expose the deployment-shaping options.
+    serve = commands.get("serve")
+    if serve is None:
+        findings.append(Finding(
+            rule=spec.id, path="src/repro/cli.py", line=1, col=1,
+            message="CLI has no 'serve' subcommand; the solver service "
+                    "is unreachable from the command line",
+            snippet="cli:serve", severity=spec.severity,
+        ))
+    else:
+        serve_options = {
+            option for action in serve._actions
+            for option in action.option_strings
+        }
+        for required in ("--port", "--workers"):
+            if required not in serve_options:
+                findings.append(Finding(
+                    rule=spec.id, path="src/repro/cli.py", line=1, col=1,
+                    message=f"CLI 'serve' lacks the {required} option; "
+                            f"the daemon cannot be deployed without it",
+                    snippet="cli:serve", severity=spec.severity,
                 ))
     return findings
 
@@ -504,5 +530,53 @@ def check_docstring_accuracy(ctx, contracts=None) -> list[Finding]:
                 ctx, spec, func, symbol,
                 f"{qualname} docstring drifted behind the implementation: "
                 f"it reads {undocumented} without mentioning them",
+            ))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# RPD106 — wire-codec coverage of the problem registry.
+
+@register_deep_check(DeepSpec(
+    id="RPD106",
+    name="wire-codec-coverage",
+    description="every problem family exported by repro.problems (any "
+                "class with a to_problem front-door adapter) has a "
+                "registered JSON codec, and every repro.service export "
+                "resolves (the service package is on the deep-lint "
+                "import surface)",
+    fronts_for="PR 8 solver service: a problem type that cannot cross "
+               "the wire silently narrows the service to a subset of "
+               "the library (tests/service/test_codec.py)",
+))
+def check_wire_codec_coverage(ctx) -> list[Finding]:
+    import repro.problems as problems
+    import repro.service as service
+    from repro.problems.io import json_codec_classes
+
+    spec = check_wire_codec_coverage.spec
+    findings = []
+    covered = set(json_codec_classes())
+    for name in getattr(problems, "__all__", []):
+        obj = getattr(problems, name)
+        if not (inspect.isclass(obj) and hasattr(obj, "to_problem")):
+            continue
+        if obj not in covered:
+            findings.append(_symbol_finding(
+                ctx, spec, obj, f"codec:{name}",
+                f"problem family {name} has no JSON codec: the solver "
+                f"service cannot serve it (register_problem_codec in "
+                f"repro/problems/io.py)",
+            ))
+    # Import-surface check: the service package's public names must all
+    # resolve, so a stale __all__ entry fails lint instead of a client.
+    for name in getattr(service, "__all__", []):
+        if not hasattr(service, name):
+            findings.append(Finding(
+                rule=spec.id, path="src/repro/service/__init__.py",
+                line=1, col=1,
+                message=f"repro.service.__all__ names {name!r} but the "
+                        f"package does not define it",
+                snippet=f"service:{name}", severity=spec.severity,
             ))
     return findings

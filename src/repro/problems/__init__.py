@@ -30,6 +30,13 @@ from repro.problems.io import (
     read_mkp,
     write_gap,
     read_gap,
+    array_to_json,
+    array_from_json,
+    json_codec_classes,
+    json_problem_kinds,
+    problem_to_json,
+    problem_from_json,
+    register_problem_codec,
 )
 
 __all__ = [
@@ -54,4 +61,11 @@ __all__ = [
     "read_mkp",
     "write_gap",
     "read_gap",
+    "array_to_json",
+    "array_from_json",
+    "json_codec_classes",
+    "json_problem_kinds",
+    "problem_to_json",
+    "problem_from_json",
+    "register_problem_codec",
 ]

@@ -1,10 +1,20 @@
-"""Plain-text instance serialization.
+"""Instance serialization: plain-text formats and the canonical JSON codec.
 
 QKP files follow the layout of the standard Billionnet–Soutif distribution
 files (name, N, linear values, upper-triangle pairwise values, a 0/1
 constraint-type flag, capacity, weights); MKP files use the compact layout
 of the OR-Library ``mknap`` files (N M optimum, values, M weight rows,
 capacities).  Both round-trip exactly through their reader/writer pairs.
+
+The JSON codec (:func:`problem_to_json` / :func:`problem_from_json`) is
+the wire format of the solver service: every registered problem family
+serializes to a ``{"kind": ..., ...payload}`` dict of JSON-native values.
+Arrays travel as ``{"dtype", "shape", "data"}`` envelopes — python's
+float repr round-trips every finite double exactly, so decoded instances
+are bit-identical to the originals (same dtype, same values), which is
+what lets a service solve land on the same trajectory as an in-process
+solve.  New problem families join the wire format through
+:func:`register_problem_codec`.
 """
 
 from __future__ import annotations
@@ -14,6 +24,9 @@ from pathlib import Path
 import numpy as np
 
 from repro.problems.gap import GapInstance
+from repro.problems.knapsack import KnapsackInstance
+from repro.problems.maxcut import MaxCutInstance
+from repro.problems.mis import MisInstance
 from repro.problems.mkp import MkpInstance
 from repro.problems.qkp import QkpInstance
 
@@ -134,3 +147,175 @@ def read_mkp(path) -> tuple[MkpInstance, float]:
     if len(raw) > 3 + m and raw[3 + m].startswith("#"):
         name = raw[3 + m].lstrip("# ").strip()
     return MkpInstance(values, weights, capacities, name=name), optimum
+
+
+# --------------------------------------------------------------------------
+# Canonical JSON codec (the solver service's wire format)
+# --------------------------------------------------------------------------
+
+def array_to_json(array) -> dict:
+    """JSON envelope for an array: exact dtype, shape, and values.
+
+    ``tolist()`` yields python ints/floats whose JSON repr round-trips
+    exactly (repr of a finite double is exact); the dtype string restores
+    the storage type on decode.  Non-finite values are rejected — the wire
+    format is strict JSON.
+    """
+    array = np.asarray(array)
+    if array.dtype.kind == "f" and not np.all(np.isfinite(array)):
+        raise ValueError("cannot encode non-finite array values as JSON")
+    return {
+        "dtype": array.dtype.name,
+        "shape": list(array.shape),
+        "data": array.tolist(),
+    }
+
+
+def array_from_json(payload: dict) -> np.ndarray:
+    """Decode an :func:`array_to_json` envelope (exact dtype and values)."""
+    try:
+        dtype = np.dtype(payload["dtype"])
+        shape = tuple(int(dim) for dim in payload["shape"])
+        data = payload["data"]
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed array envelope: {exc}") from exc
+    array = np.asarray(data, dtype=dtype)
+    return array.reshape(shape)
+
+
+# kind -> (class, encode(instance) -> payload, decode(payload) -> instance)
+_JSON_CODECS: dict = {}
+_KIND_BY_CLASS: dict = {}
+
+
+def register_problem_codec(kind: str, cls, encode, decode) -> None:
+    """Register a problem family with the JSON wire format.
+
+    ``encode(instance) -> dict`` must emit JSON-native values only (use
+    :func:`array_to_json` for arrays); ``decode(payload) -> instance``
+    must invert it exactly.  The ``kind`` tag is the wire discriminator
+    and must be unique.
+    """
+    if kind in _JSON_CODECS:
+        raise ValueError(f"problem codec {kind!r} is already registered")
+    _JSON_CODECS[kind] = (cls, encode, decode)
+    _KIND_BY_CLASS[cls] = kind
+
+
+def json_problem_kinds() -> tuple:
+    """Registered wire-format kind tags, sorted."""
+    return tuple(sorted(_JSON_CODECS))
+
+
+def json_codec_classes() -> tuple:
+    """Instance classes with a registered JSON codec."""
+    return tuple(cls for cls, _, _ in _JSON_CODECS.values())
+
+
+def problem_to_json(instance) -> dict:
+    """Serialize a registered problem instance to a JSON-native dict."""
+    kind = _KIND_BY_CLASS.get(type(instance))
+    if kind is None:
+        raise TypeError(
+            f"no JSON codec registered for {type(instance).__name__}; "
+            f"known kinds: {', '.join(json_problem_kinds())}"
+        )
+    _, encode, _ = _JSON_CODECS[kind]
+    payload = encode(instance)
+    payload["kind"] = kind
+    return payload
+
+
+def problem_from_json(payload: dict) -> object:
+    """Decode a :func:`problem_to_json` dict back to an instance."""
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise ValueError("problem payload must be a dict with a 'kind' tag")
+    kind = payload["kind"]
+    if kind not in _JSON_CODECS:
+        raise ValueError(
+            f"unknown problem kind {kind!r}; "
+            f"known kinds: {', '.join(json_problem_kinds())}"
+        )
+    _, _, decode = _JSON_CODECS[kind]
+    return decode({key: value for key, value in payload.items() if key != "kind"})
+
+
+register_problem_codec(
+    "qkp",
+    QkpInstance,
+    lambda p: {
+        "values": array_to_json(p.values),
+        "pair_values": array_to_json(p.pair_values),
+        "weights": array_to_json(p.weights),
+        "capacity": float(p.capacity),
+        "name": p.name,
+    },
+    lambda d: QkpInstance(
+        array_from_json(d["values"]), array_from_json(d["pair_values"]),
+        array_from_json(d["weights"]), d["capacity"], name=d.get("name", ""),
+    ),
+)
+register_problem_codec(
+    "mkp",
+    MkpInstance,
+    lambda p: {
+        "values": array_to_json(p.values),
+        "weights": array_to_json(p.weights),
+        "capacities": array_to_json(p.capacities),
+        "name": p.name,
+    },
+    lambda d: MkpInstance(
+        array_from_json(d["values"]), array_from_json(d["weights"]),
+        array_from_json(d["capacities"]), name=d.get("name", ""),
+    ),
+)
+register_problem_codec(
+    "knapsack",
+    KnapsackInstance,
+    lambda p: {
+        "values": array_to_json(p.values),
+        "weights": array_to_json(p.weights),
+        "capacity": int(p.capacity),
+        "name": p.name,
+    },
+    lambda d: KnapsackInstance(
+        array_from_json(d["values"]), array_from_json(d["weights"]),
+        d["capacity"], name=d.get("name", ""),
+    ),
+)
+register_problem_codec(
+    "maxcut",
+    MaxCutInstance,
+    lambda p: {"adjacency": array_to_json(p.adjacency), "name": p.name},
+    lambda d: MaxCutInstance(
+        array_from_json(d["adjacency"]), name=d.get("name", "")
+    ),
+)
+register_problem_codec(
+    "mis",
+    MisInstance,
+    lambda p: {
+        "weights": array_to_json(p.weights),
+        "edges": [[int(u), int(v)] for u, v in p.edges],
+        "name": p.name,
+    },
+    lambda d: MisInstance(
+        array_from_json(d["weights"]),
+        tuple((int(u), int(v)) for u, v in d["edges"]),
+        name=d.get("name", ""),
+    ),
+)
+register_problem_codec(
+    "gap",
+    GapInstance,
+    lambda p: {
+        "costs": array_to_json(p.costs),
+        "loads": array_to_json(p.loads),
+        "capacities": array_to_json(p.capacities),
+        "name": p.name,
+    },
+    lambda d: GapInstance(
+        array_from_json(d["costs"]), array_from_json(d["loads"]),
+        array_from_json(d["capacities"]), name=d.get("name", ""),
+    ),
+)

@@ -32,6 +32,8 @@ warm-start.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.api import method_info, solve
@@ -66,6 +68,12 @@ class SolverSession:
     lifetime; per-call ``rng``/keyword overrides go to :meth:`resolve`.
     ``warm_start=False`` pins cold solves while keeping the session
     bookkeeping (reports, solve counts).
+
+    The multiplier cache is LRU-bounded by ``max_entries`` (default
+    generous — one entry per distinct problem *fingerprint*, not per
+    instance, so most workloads never evict): a long-running daemon
+    resolving an unbounded stream of problem shapes stays at bounded
+    memory, and :attr:`num_evictions` surfaces the churn.
     """
 
     def __init__(
@@ -80,9 +88,12 @@ class SolverSession:
         backend_options: dict | None = None,
         method_options: dict | None = None,
         warm_start: bool = True,
+        max_entries: int = 1024,
         **config_overrides,
     ):
         spec = method_info(method)  # raises on unknown methods up front
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.method = method
         self.backend = backend
         self.config = config
@@ -93,9 +104,12 @@ class SolverSession:
         self.method_options = method_options
         self.config_overrides = config_overrides
         self.warm_start = bool(warm_start) and spec.uses_lambdas
-        self._lambdas: dict[tuple, np.ndarray] = {}
+        self.max_entries = int(max_entries)
+        self._uses_lambdas = spec.uses_lambdas
+        self._lambdas: OrderedDict[tuple, np.ndarray] = OrderedDict()
         self._num_solves = 0
         self._num_warm = 0
+        self._num_evictions = 0
 
     @property
     def num_solves(self) -> int:
@@ -112,21 +126,38 @@ class SolverSession:
         """Distinct problem fingerprints with cached multipliers."""
         return len(self._lambdas)
 
+    @property
+    def num_evictions(self) -> int:
+        """Cache entries dropped by the ``max_entries`` LRU bound."""
+        return self._num_evictions
+
     def cached_lambdas(self, problem) -> np.ndarray | None:
         """The multipliers a resolve of ``problem`` would warm-start from."""
         lam = self._lambdas.get(problem_fingerprint(problem))
         return None if lam is None else lam.copy()
 
-    def resolve(self, problem, rng=None, **config_overrides) -> SolveReport:
+    def resolve(
+        self, problem, rng=None, warm_start: bool | None = None,
+        **config_overrides,
+    ) -> SolveReport:
         """Solve ``problem``, warm-starting from any cached multipliers.
 
-        ``rng`` and keyword config overrides take precedence over the
-        session defaults for this call only.  The solve's final multipliers
-        (when the method exposes them) replace the cache entry for the
-        problem's fingerprint.
+        ``rng``, ``warm_start``, and keyword config overrides take
+        precedence over the session defaults for this call only
+        (``warm_start=False`` forces a cold solve — bit-identical to the
+        front door — while still refreshing the cache for later warm
+        calls).  The solve's final multipliers (when the method exposes
+        them) replace the cache entry for the problem's fingerprint.
         """
         key = problem_fingerprint(problem)
-        initial = self._lambdas.get(key) if self.warm_start else None
+        if warm_start is None:
+            warm = self.warm_start
+        else:
+            warm = bool(warm_start) and self._uses_lambdas
+        initial = None
+        if warm and key in self._lambdas:
+            initial = self._lambdas[key]
+            self._lambdas.move_to_end(key)
         overrides = {**self.config_overrides, **config_overrides}
         report = solve(
             problem,
@@ -148,6 +179,10 @@ class SolverSession:
         final = getattr(report.detail, "final_lambdas", None)
         if final is not None:
             self._lambdas[key] = np.asarray(final, dtype=float).copy()
+            self._lambdas.move_to_end(key)
+            while len(self._lambdas) > self.max_entries:
+                self._lambdas.popitem(last=False)
+                self._num_evictions += 1
         return report
 
     def reset(self) -> None:

@@ -1,0 +1,58 @@
+"""Solver-as-a-service: the front door as a long-running endpoint.
+
+Layering (request path, top to bottom)::
+
+    HTTP client ── POST /v1/solve ──────────────────────────────┐
+                                                                ▼
+    http.SolverService     stdlib ThreadingHTTPServer; 400/429 mapping
+    pool.ServicePool       bounded PriorityJobQueue + dispatcher threads
+    pool.WorkerRuntime     persistent (thread/process) solver state:
+                             ProgramCache      resident AnnealPrograms
+                             SolverSession(s)  resident multiplier caches
+    repro.solve            the unchanged in-process front door
+
+The wire format lives in :mod:`repro.service.codec` (jobs/reports) on
+top of the canonical problem JSON codec in :mod:`repro.problems.io`;
+per-request JSON logging in :mod:`repro.service.log`.  The CLI
+entry point is ``repro serve``.
+
+Contract: a default request is **bit-identical** to ``repro.solve`` on
+the same seed — residency buys latency, never different answers.
+``warm_start=true`` is the explicit opt-in that changes multiplier
+trajectories.
+"""
+
+from repro.service.codec import (
+    CodecError,
+    job_from_wire,
+    job_to_wire,
+    report_from_wire,
+    report_to_wire,
+)
+from repro.service.http import SolverService
+from repro.service.log import RequestLogger
+from repro.service.pool import JobHandle, ProgramCache, ServicePool, WorkerRuntime
+from repro.service.queue import (
+    PRIORITIES,
+    PriorityJobQueue,
+    QueueClosedError,
+    QueueFullError,
+)
+
+__all__ = [
+    "CodecError",
+    "JobHandle",
+    "PRIORITIES",
+    "PriorityJobQueue",
+    "ProgramCache",
+    "QueueClosedError",
+    "QueueFullError",
+    "RequestLogger",
+    "ServicePool",
+    "SolverService",
+    "WorkerRuntime",
+    "job_from_wire",
+    "job_to_wire",
+    "report_from_wire",
+    "report_to_wire",
+]

@@ -1,0 +1,133 @@
+"""Bounded priority job queue with backpressure.
+
+The service's admission control lives here, not in the HTTP layer: a
+queue holds at most ``high_water`` pending jobs, and :meth:`put` above
+that mark raises :class:`QueueFullError` *immediately* — the front end
+translates it to a ``429`` with a structured payload, the client backs
+off, and no request ever blocks the accept loop.  An unbounded queue
+would instead convert overload into silently unbounded latency, which
+is the failure mode this bound exists to make visible.
+
+Ordering is priority class first (``high`` < ``normal`` < ``low``),
+strict FIFO within a class: a monotonically increasing sequence number
+breaks heap ties, so two equal-priority jobs dequeue in arrival order
+— the property the fairness test pins.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+
+__all__ = [
+    "PRIORITIES",
+    "PriorityJobQueue",
+    "QueueClosedError",
+    "QueueFullError",
+]
+
+# Wire names for priority classes; lower value dequeues first.
+PRIORITIES = {"high": 0, "normal": 1, "low": 2}
+
+
+class QueueFullError(RuntimeError):
+    """Raised by :meth:`PriorityJobQueue.put` above the high-water mark."""
+
+    def __init__(self, depth: int, high_water: int):
+        super().__init__(
+            f"queue is at its high-water mark ({depth}/{high_water} "
+            f"pending); retry later"
+        )
+        self.depth = depth
+        self.high_water = high_water
+
+
+class QueueClosedError(RuntimeError):
+    """Raised by :meth:`get` once the queue is closed and drained."""
+
+
+def resolve_priority(priority) -> int:
+    """A wire priority (name or int) as a heap rank."""
+    if isinstance(priority, str):
+        if priority not in PRIORITIES:
+            raise ValueError(
+                f"unknown priority {priority!r}; choose from "
+                f"{', '.join(PRIORITIES)}"
+            )
+        return PRIORITIES[priority]
+    return int(priority)
+
+
+class PriorityJobQueue:
+    """Bounded thread-safe priority queue (FIFO within a priority class)."""
+
+    def __init__(self, high_water: int = 64):
+        if high_water < 1:
+            raise ValueError(f"high_water must be >= 1, got {high_water}")
+        self.high_water = int(high_water)
+        self._heap: list = []
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._seq = 0
+        self._closed = False
+        self._num_enqueued = 0
+        self._num_dequeued = 0
+        self._num_rejected = 0
+
+    @property
+    def depth(self) -> int:
+        """Jobs currently waiting."""
+        with self._lock:
+            return len(self._heap)
+
+    @property
+    def num_enqueued(self) -> int:
+        """Jobs accepted over the queue's lifetime."""
+        return self._num_enqueued
+
+    @property
+    def num_dequeued(self) -> int:
+        """Jobs handed to workers over the queue's lifetime."""
+        return self._num_dequeued
+
+    @property
+    def num_rejected(self) -> int:
+        """Jobs refused at the high-water mark."""
+        return self._num_rejected
+
+    def put(self, item, priority="normal") -> None:
+        """Enqueue ``item``, or raise :class:`QueueFullError` at capacity."""
+        rank = resolve_priority(priority)
+        with self._not_empty:
+            if self._closed:
+                raise QueueClosedError("queue is closed")
+            if len(self._heap) >= self.high_water:
+                self._num_rejected += 1
+                raise QueueFullError(len(self._heap), self.high_water)
+            heapq.heappush(self._heap, (rank, self._seq, item))
+            self._seq += 1
+            self._num_enqueued += 1
+            self._not_empty.notify()
+
+    def get(self, timeout: float | None = None):
+        """Dequeue the highest-priority item, blocking while empty.
+
+        Raises :class:`QueueClosedError` once the queue is closed and
+        drained (the dispatcher's exit signal), and :class:`TimeoutError`
+        if ``timeout`` elapses first.
+        """
+        with self._not_empty:
+            while not self._heap:
+                if self._closed:
+                    raise QueueClosedError("queue is closed")
+                if not self._not_empty.wait(timeout):
+                    raise TimeoutError("queue.get timed out")
+            _, _, item = heapq.heappop(self._heap)
+            self._num_dequeued += 1
+            return item
+
+    def close(self) -> None:
+        """Stop accepting work; blocked getters drain then see closed."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()

@@ -1,0 +1,168 @@
+"""Round-trip property tests for the canonical JSON problem codec.
+
+The codec is the solver service's wire format, so its contract is exact:
+``problem_from_json(json.loads(json.dumps(problem_to_json(p))))`` must
+restore every array with the same dtype and bit-identical values, for
+every registered problem family.  These tests drive randomized instances
+of each family through a real ``json.dumps``/``loads`` cycle (not just
+dict identity) and compare field by field.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.problems import (
+    GapInstance,
+    KnapsackInstance,
+    MaxCutInstance,
+    array_from_json,
+    array_to_json,
+    json_codec_classes,
+    json_problem_kinds,
+    problem_from_json,
+    problem_to_json,
+    register_problem_codec,
+)
+from repro.problems.generators import generate_mkp, generate_qkp
+from repro.problems.gap import generate_gap
+from repro.problems.mis import random_mis
+
+seeds = st.integers(min_value=0, max_value=10**6)
+
+
+def wire_cycle(instance):
+    """Encode → real JSON bytes → decode, as the service does."""
+    return problem_from_json(json.loads(json.dumps(problem_to_json(instance))))
+
+
+def assert_arrays_identical(left, right):
+    left, right = np.asarray(left), np.asarray(right)
+    assert left.dtype == right.dtype
+    assert left.shape == right.shape
+    assert np.array_equal(left, right)
+
+
+class TestArrayEnvelope:
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_float_arrays_roundtrip_exactly(self, seed):
+        rng = np.random.default_rng(seed)
+        array = rng.uniform(-1e12, 1e12, size=(3, 5))
+        decoded = array_from_json(json.loads(json.dumps(array_to_json(array))))
+        assert_arrays_identical(array, decoded)
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_integer_arrays_keep_dtype(self, seed):
+        rng = np.random.default_rng(seed)
+        array = rng.integers(1, 10**9, size=7, dtype=np.int64)
+        decoded = array_from_json(json.loads(json.dumps(array_to_json(array))))
+        assert_arrays_identical(array, decoded)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            array_to_json(np.array([1.0, np.inf]))
+
+    def test_malformed_envelope_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            array_from_json({"dtype": "float64"})
+
+
+class TestProblemRoundTrips:
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_qkp(self, seed):
+        instance = generate_qkp(12, 0.5, rng=seed, name=f"qkp-{seed}")
+        decoded = wire_cycle(instance)
+        assert_arrays_identical(instance.values, decoded.values)
+        assert_arrays_identical(instance.pair_values, decoded.pair_values)
+        assert_arrays_identical(instance.weights, decoded.weights)
+        assert instance.capacity == decoded.capacity
+        assert instance.name == decoded.name
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_mkp(self, seed):
+        instance = generate_mkp(10, 3, rng=seed, name=f"mkp-{seed}")
+        decoded = wire_cycle(instance)
+        assert_arrays_identical(instance.values, decoded.values)
+        assert_arrays_identical(instance.weights, decoded.weights)
+        assert_arrays_identical(instance.capacities, decoded.capacities)
+        assert instance.name == decoded.name
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_knapsack(self, seed):
+        rng = np.random.default_rng(seed)
+        instance = KnapsackInstance(
+            values=rng.uniform(1, 100, 9),
+            weights=rng.integers(1, 40, 9),
+            capacity=int(rng.integers(40, 120)),
+            name=f"kp-{seed}",
+        )
+        decoded = wire_cycle(instance)
+        assert_arrays_identical(instance.values, decoded.values)
+        assert_arrays_identical(instance.weights, decoded.weights)
+        assert decoded.weights.dtype == np.int64
+        assert instance.capacity == decoded.capacity
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_maxcut(self, seed):
+        rng = np.random.default_rng(seed)
+        raw = rng.uniform(0, 1, (8, 8))
+        adjacency = np.triu(raw, k=1) + np.triu(raw, k=1).T
+        instance = MaxCutInstance(adjacency, name=f"mc-{seed}")
+        decoded = wire_cycle(instance)
+        assert_arrays_identical(instance.adjacency, decoded.adjacency)
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_mis(self, seed):
+        instance = random_mis(10, 0.4, rng=seed)
+        decoded = wire_cycle(instance)
+        assert_arrays_identical(instance.weights, decoded.weights)
+        assert instance.edges == decoded.edges
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_gap(self, seed):
+        instance = generate_gap(6, 3, rng=seed)
+        decoded = wire_cycle(instance)
+        assert_arrays_identical(instance.costs, decoded.costs)
+        assert_arrays_identical(instance.loads, decoded.loads)
+        assert_arrays_identical(instance.capacities, decoded.capacities)
+
+
+class TestRegistry:
+    def test_every_front_door_family_has_a_codec(self):
+        """The deep-lint RPD106 contract, pinned as a test too."""
+        import inspect
+
+        import repro.problems as problems
+
+        covered = set(json_codec_classes())
+        for name in problems.__all__:
+            obj = getattr(problems, name)
+            if inspect.isclass(obj) and hasattr(obj, "to_problem"):
+                assert obj in covered, f"{name} has no JSON codec"
+
+    def test_kinds_sorted_and_stable(self):
+        kinds = json_problem_kinds()
+        assert list(kinds) == sorted(kinds)
+        assert {"qkp", "mkp", "knapsack", "maxcut", "mis", "gap"} <= set(kinds)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown problem kind"):
+            problem_from_json({"kind": "sudoku"})
+
+    def test_unregistered_class_rejected(self):
+        with pytest.raises(TypeError, match="no JSON codec"):
+            problem_to_json(object())
+
+    def test_duplicate_kind_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_problem_codec("qkp", GapInstance, dict, dict)

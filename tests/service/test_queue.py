@@ -1,0 +1,103 @@
+"""Unit tests for the bounded priority queue (repro.service.queue)."""
+
+import threading
+
+import pytest
+
+from repro.service.queue import (
+    PriorityJobQueue,
+    QueueClosedError,
+    QueueFullError,
+    resolve_priority,
+)
+
+
+class TestOrdering:
+    def test_priority_classes_dequeue_high_first(self):
+        queue = PriorityJobQueue(high_water=10)
+        queue.put("slow", priority="low")
+        queue.put("fast", priority="high")
+        queue.put("mid", priority="normal")
+        assert [queue.get(), queue.get(), queue.get()] == [
+            "fast", "mid", "slow"
+        ]
+
+    def test_fifo_within_priority_class(self):
+        queue = PriorityJobQueue(high_water=10)
+        for index in range(5):
+            queue.put(index, priority="normal")
+        assert [queue.get() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_priority_names_and_ints_interchangeable(self):
+        assert resolve_priority("high") == 0
+        assert resolve_priority("normal") == 1
+        assert resolve_priority("low") == 2
+        assert resolve_priority(7) == 7
+        with pytest.raises(ValueError, match="unknown priority"):
+            resolve_priority("urgent")
+
+
+class TestBackpressure:
+    def test_put_above_high_water_rejects_not_blocks(self):
+        queue = PriorityJobQueue(high_water=2)
+        queue.put("a")
+        queue.put("b")
+        with pytest.raises(QueueFullError) as excinfo:
+            queue.put("c")
+        assert excinfo.value.depth == 2
+        assert excinfo.value.high_water == 2
+        assert queue.num_rejected == 1
+        # The queue itself is unharmed: drain one, admit one.
+        assert queue.get() == "a"
+        queue.put("c")
+        assert queue.depth == 2
+
+    def test_counters(self):
+        queue = PriorityJobQueue(high_water=3)
+        queue.put("a")
+        queue.put("b")
+        queue.get()
+        assert queue.num_enqueued == 2
+        assert queue.num_dequeued == 1
+        assert queue.depth == 1
+
+
+class TestLifecycle:
+    def test_get_times_out(self):
+        queue = PriorityJobQueue()
+        with pytest.raises(TimeoutError):
+            queue.get(timeout=0.02)
+
+    def test_close_wakes_blocked_getter(self):
+        queue = PriorityJobQueue()
+        outcome = {}
+
+        def getter():
+            try:
+                queue.get(timeout=5.0)
+            except QueueClosedError:
+                outcome["closed"] = True
+
+        thread = threading.Thread(target=getter)
+        thread.start()
+        queue.close()
+        thread.join(timeout=5.0)
+        assert outcome.get("closed") is True
+
+    def test_closed_queue_rejects_put(self):
+        queue = PriorityJobQueue()
+        queue.close()
+        with pytest.raises(QueueClosedError):
+            queue.put("late")
+
+    def test_close_drains_remaining_items_first(self):
+        queue = PriorityJobQueue()
+        queue.put("pending")
+        queue.close()
+        assert queue.get() == "pending"
+        with pytest.raises(QueueClosedError):
+            queue.get()
+
+    def test_invalid_high_water(self):
+        with pytest.raises(ValueError, match="high_water"):
+            PriorityJobQueue(high_water=0)
