@@ -1,0 +1,175 @@
+"""Perf — higher-order (PUBO) kernel: serial loop vs batched lock step.
+
+The ``higher_order`` backend's batched ``anneal_many`` maintains one
+per-term spin-product table across all replicas, so one lock-step sweep
+replaces ``R`` serial Python sweeps.  This bench measures exactly that
+trade on a random cubic model: ``R`` sequential ``anneal`` calls on the
+spawned child streams (the semantics the batched path is bit-identical
+to) against a single ``anneal_many(schedule, R)``, at R in {1, 8, 32}.
+
+Results are archived as ``benchmarks/output/BENCH_higher_order.json``
+(mirrored to the repo root at smoke scale).  Wall-time assertions arm
+only on hosts with >= 4 CPUs at non-smoke scales; the JSON is emitted
+(informationally) everywhere.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_perf_higher_order.py [--smoke]
+
+or through pytest-benchmark::
+
+    REPRO_SCALE=ci PYTHONPATH=src python -m pytest benchmarks/bench_perf_higher_order.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import archive_bench_json  # noqa: E402
+
+from repro.core.schedule import linear_beta_schedule  # noqa: E402
+from repro.ising.higher_order import HigherOrderPBitMachine, PolyIsingModel  # noqa: E402
+from repro.utils.rng import spawn_rngs  # noqa: E402
+
+REPLICAS = (1, 8, 32)
+
+# Per scale: spins in the cubic model, sweeps per anneal.
+_SIZES = {
+    "smoke": dict(spins=24, sweeps=30),
+    "ci": dict(spins=64, sweeps=120),
+    "full": dict(spins=128, sweeps=400),
+}
+
+
+def _scale_name() -> str:
+    name = os.environ.get("REPRO_SCALE", "ci").lower()
+    return name if name in _SIZES else "ci"
+
+
+def _cpu_count() -> int:
+    return len(os.sched_getaffinity(0))
+
+
+def random_cubic_model(n: int, seed: int) -> PolyIsingModel:
+    """Random model with n linear, 2n pair and n triple interactions."""
+    rng = np.random.default_rng(seed)
+    terms = {}
+    for i in range(n):
+        terms[(i,)] = float(rng.uniform(-1, 1))
+    for _ in range(2 * n):
+        i, j = sorted(rng.choice(n, size=2, replace=False))
+        terms[(int(i), int(j))] = float(rng.uniform(-1, 1))
+    for _ in range(n):
+        i, j, k = sorted(rng.choice(n, size=3, replace=False))
+        terms[(int(i), int(j), int(k))] = float(rng.uniform(-1, 1))
+    return PolyIsingModel(n, terms)
+
+
+def _time_serial(model, schedule, replicas: int, seed: int) -> tuple[float, np.ndarray]:
+    """R sequential anneals on the spawned child streams (the reference)."""
+    children = spawn_rngs(np.random.default_rng(seed), replicas)
+    start = time.perf_counter()
+    best = np.array([
+        HigherOrderPBitMachine(model, rng=child).anneal(schedule).best_energy
+        for child in children
+    ])
+    return time.perf_counter() - start, best
+
+
+def _time_batched(model, schedule, replicas: int, seed: int) -> tuple[float, np.ndarray]:
+    machine = HigherOrderPBitMachine(model, rng=np.random.default_rng(seed))
+    start = time.perf_counter()
+    if replicas == 1:
+        # R=1 consumes the machine's own stream; spawn the child to match
+        # the serial reference stream-for-stream.
+        machine = HigherOrderPBitMachine(
+            model, rng=spawn_rngs(np.random.default_rng(seed), 1)[0]
+        )
+        batch = machine.anneal_many(schedule, 1)
+    else:
+        batch = machine.anneal_many(schedule, replicas)
+    return time.perf_counter() - start, batch.best_energies.copy()
+
+
+def run_higher_order(scale: str | None = None) -> dict:
+    """Profile serial-vs-batched PUBO annealing; archives the record."""
+    scale = scale or _scale_name()
+    spec = _SIZES[scale]
+    model = random_cubic_model(spec["spins"], seed=11)
+    schedule = linear_beta_schedule(8.0, spec["sweeps"])
+
+    # Warm-up: touch every code path once before timing.
+    HigherOrderPBitMachine(model, rng=0).anneal_many(schedule[:4], 2)
+
+    records = []
+    for replicas in REPLICAS:
+        serial_seconds, serial_best = _time_serial(model, schedule, replicas, seed=5)
+        batched_seconds, batched_best = _time_batched(model, schedule, replicas, seed=5)
+        # The batched path is bit-identical to the serial reference, so the
+        # comparison is apples-to-apples by construction.
+        assert np.array_equal(serial_best, batched_best), (
+            f"batched R={replicas} diverged from the serial reference"
+        )
+        records.append({
+            "num_replicas": replicas,
+            "num_spins": spec["spins"],
+            "num_terms": len(model.terms),
+            "num_sweeps": int(schedule.size),
+            "serial_seconds": serial_seconds,
+            "batched_seconds": batched_seconds,
+            "speedup": serial_seconds / batched_seconds,
+            "replica_sweeps_per_sec": replicas * schedule.size / batched_seconds,
+            "best_energy_mean": float(batched_best.mean()),
+        })
+
+    by_r = {record["num_replicas"]: record for record in records}
+    summary = {
+        "speedup_r8": by_r[8]["speedup"],
+        "speedup_r32": by_r[32]["speedup"],
+    }
+    report = {
+        "bench": "higher_order",
+        "scale": scale,
+        "timestamp": time.time(),
+        "cpu_count": _cpu_count(),
+        "assertions_armed": _cpu_count() >= 4 and scale != "smoke",
+        "records": records,
+        "summary": summary,
+    }
+    out_path = archive_bench_json("higher_order", report)
+
+    print(f"\nHigher-order kernel, serial vs batched ({scale} scale, "
+          f"n={spec['spins']}, {schedule.size} sweeps, {_cpu_count()} CPUs):")
+    for record in records:
+        print(f"  R={record['num_replicas']:<3d} "
+              f"serial {record['serial_seconds'] * 1e3:8.1f} ms  "
+              f"batched {record['batched_seconds'] * 1e3:8.1f} ms  "
+              f"speedup {record['speedup']:5.2f}x")
+    print(f"archived {out_path}")
+    return report
+
+
+def test_perf_higher_order(benchmark):
+    """Emit the serial-vs-batched record; speed claims gate on CPU count."""
+    report = benchmark.pedantic(
+        run_higher_order, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert {record["num_replicas"] for record in report["records"]} == set(REPLICAS)
+    for record in report["records"]:
+        assert record["batched_seconds"] > 0
+    if report["assertions_armed"]:
+        # One lock-step call amortizes the per-sweep Python overhead over
+        # the whole batch; by R=32 that must be a clear win.
+        assert report["summary"]["speedup_r32"] > 2.0, (
+            f"batched R=32 not faster: {report['summary']['speedup_r32']:.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        os.environ["REPRO_SCALE"] = "smoke"
+    run_higher_order()

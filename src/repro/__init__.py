@@ -18,7 +18,8 @@ Quickstart::
 solver loop (``"saim"``, ``"penalty"``, or a classical baseline:
 ``"greedy"``, ``"ga"``, ``"milp"``, ``"bnb"``, ``"exhaustive"``),
 ``backend`` the annealing machine (``"pbit"``, ``"metropolis"``,
-``"quantized"``, ``"chromatic"``, ``"pt"``), and ``num_replicas`` scales
+``"quantized"``, ``"chromatic"``, ``"pt"``, ``"higher_order"``), and
+``num_replicas`` scales
 the batched replica-parallel engine.  Every method returns the same
 :class:`repro.core.report.SolveReport` schema, with the solver's native
 result as its typed ``detail`` payload.
@@ -83,18 +84,21 @@ from repro.ising import (
     parallel_tempering,
     brute_force_ground_state,
 )
+from repro.core.poly import PolyLagrangianIsing, PolyProblem
 from repro.problems import (
     QkpInstance,
     MkpInstance,
     KnapsackInstance,
     MaxCutInstance,
+    Max3SatInstance,
     generate_qkp,
     generate_mkp,
+    generate_max3sat,
     paper_qkp_instance,
     paper_mkp_instance,
 )
 
-__version__ = "2.5.0"
+__version__ = "2.6.0"
 
 # The sweep drivers live under repro.analysis, whose package import pulls in
 # the whole experiment harness; resolve them lazily so `import repro` (and
@@ -166,6 +170,8 @@ __all__ = [
     "penalty_method_solve",
     "tune_penalty",
     "LagrangianIsing",
+    "PolyLagrangianIsing",
+    "PolyProblem",
     "IsingModel",
     "QuboModel",
     "PBitMachine",
@@ -177,8 +183,10 @@ __all__ = [
     "MkpInstance",
     "KnapsackInstance",
     "MaxCutInstance",
+    "Max3SatInstance",
     "generate_qkp",
     "generate_mkp",
+    "generate_max3sat",
     "paper_qkp_instance",
     "paper_mkp_instance",
     "__version__",

@@ -184,7 +184,11 @@ def describe_backends() -> dict[str, str]:
 
 def make_backend_factory(backend: str = "pbit", **backend_options):
     """Resolve a backend name (+ options) into a machine factory."""
-    return backend_info(backend).builder(**backend_options)
+    factory = backend_info(backend).builder(**backend_options)
+    # Engine error messages name the backend rather than printing the
+    # factory closure's repr.
+    factory.backend_name = backend
+    return factory
 
 
 def _build_config(config, overrides) -> SaimConfig:
@@ -276,9 +280,9 @@ def solve(
         ``"ga"``, ``"milp"``, ``"bnb"`` and ``"exhaustive"``.
     backend:
         Registered annealing machine for annealing methods (``"pbit"``,
-        ``"metropolis"``, ``"quantized"``, ``"chromatic"``, ``"pt"``);
-        ``None`` selects the method's default.  Backend-free methods reject
-        an explicit backend.
+        ``"metropolis"``, ``"quantized"``, ``"chromatic"``, ``"pt"``,
+        ``"higher_order"``); ``None`` selects the method's default.
+        Backend-free methods reject an explicit backend.
     config:
         A :class:`~repro.core.saim.SaimConfig`, a dict of its fields, or
         ``None``; keyword overrides (``num_iterations=...`` etc.) are
@@ -580,6 +584,22 @@ def _pt_builder(num_chains: int | None = None, beta_min: float = 0.1,
     return factory
 
 
+def _higher_order_builder(dtype: str | None = None):
+    from repro.ising.higher_order import HigherOrderPBitMachine, PolyIsingModel
+
+    default = _resolve_builder_dtype(dtype)
+
+    def factory(model, rng=None, dtype=None):
+        if not isinstance(model, PolyIsingModel):
+            model = PolyIsingModel.from_quadratic(model)
+        return HigherOrderPBitMachine(model, rng=rng, dtype=dtype or default)
+
+    # The engine checks this flag before handing the factory a polynomial
+    # Lagrangian; quadratic models still work (lifted above).
+    factory.accepts_poly = True
+    return factory
+
+
 # --------------------------------------------------------------------------
 # Annealing methods.
 
@@ -680,7 +700,14 @@ def _run_penalty(problem, *, config, backend, num_replicas, aggregate,
         )
     from repro.core.encoding import encode_with_slacks, normalize_problem
     from repro.core.penalty import density_heuristic_penalty, penalty_method_solve
+    from repro.core.poly import PolyProblem
 
+    if isinstance(problem, PolyProblem):
+        raise ValueError(
+            "the penalty method runs the quadratic p-bit machine only; "
+            "solve polynomial problems with method='saim', "
+            "backend='higher_order'"
+        )
     encoded = encode_with_slacks(problem)
     if config.penalty is not None:
         penalty = float(config.penalty)
@@ -865,6 +892,13 @@ register_backend(
 register_backend(
     "pt", _pt_builder,
     description="parallel tempering (backend_options={'num_chains': 8})",
+)
+register_backend(
+    "higher_order", _higher_order_builder,
+    description="higher-order (PUBO) p-bit machine over polynomial spin "
+                "models; lifts quadratic models automatically "
+                "(backend_options={'dtype': 'float32'} for reduced-precision "
+                "decisions)",
 )
 register_method(
     "saim", _run_saim,

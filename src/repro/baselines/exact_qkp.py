@@ -69,10 +69,11 @@ class ExhaustiveResult:
 def exhaustive_solve(problem) -> ExhaustiveResult:
     """Exact optimum of any small constrained problem by full enumeration.
 
-    ``problem`` is a typed instance (anything exposing ``to_problem()``) or
-    a bare :class:`~repro.core.problem.ConstrainedProblem`; all ``2**N``
-    assignments are evaluated vectorized, in bounded-memory chunks, limited
-    to ``N <= 24`` variables.
+    ``problem`` is a typed instance (anything exposing ``to_problem()``),
+    a bare :class:`~repro.core.problem.ConstrainedProblem`, or a
+    :class:`~repro.core.poly.PolyProblem`; all ``2**N`` assignments are
+    evaluated vectorized, in bounded-memory chunks, limited to ``N <= 24``
+    variables.
     """
     if hasattr(problem, "to_problem"):
         problem = problem.to_problem()
@@ -83,6 +84,14 @@ def exhaustive_solve(problem) -> ExhaustiveResult:
             f"variables, got {n}"
         )
     eq, ineq = problem.equalities, problem.inequalities
+    # Polynomial objectives enumerate by monomial products instead of the
+    # quadratic einsum; everything else (chunking, constraints) is shared.
+    poly_terms = None
+    if not hasattr(problem, "quadratic"):
+        poly_terms = [
+            (list(indices), coefficient)
+            for indices, coefficient in sorted(problem.terms.items())
+        ]
     chunk_bits = min(n, 16)
     low = ((np.arange(2**chunk_bits, dtype=np.int64)[:, None]
             >> np.arange(chunk_bits)) & 1).astype(float)
@@ -92,11 +101,16 @@ def exhaustive_solve(problem) -> ExhaustiveResult:
     for high in range(2 ** (n - chunk_bits)):
         high_bits = ((high >> np.arange(n - chunk_bits)) & 1).astype(float)
         table = np.hstack([low, np.tile(high_bits, (low.shape[0], 1))])
-        costs = (
-            np.einsum("bi,ij,bj->b", table, problem.quadratic, table)
-            + table @ problem.linear
-            + problem.offset
-        )
+        if poly_terms is not None:
+            costs = np.full(table.shape[0], problem.offset)
+            for indices, coefficient in poly_terms:
+                costs += coefficient * table[:, indices].prod(axis=1)
+        else:
+            costs = (
+                np.einsum("bi,ij,bj->b", table, problem.quadratic, table)
+                + table @ problem.linear
+                + problem.offset
+            )
         feasible = np.ones(table.shape[0], dtype=bool)
         if eq.num_constraints:
             feasible &= np.all(

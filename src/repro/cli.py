@@ -21,8 +21,10 @@ the tuned ``penalty``) are still accepted.  ``sweep`` runs the method ×
 backend × replica grid through the sharded :func:`repro.solve_many`
 executor and prints one comparison table.
 
-Formats are auto-detected from the extension (``.qkp`` / ``.mkp``); see
-:mod:`repro.problems.io`.
+Formats are auto-detected from the extension (``.qkp`` / ``.mkp``, or
+``.json`` for any family with a registered wire codec — e.g. the
+Max-3-SAT instances written by ``generate-max3sat``, which solve through
+the ``higher_order`` backend); see :mod:`repro.problems.io`.
 """
 
 from __future__ import annotations
@@ -53,6 +55,15 @@ def _build_parser() -> argparse.ArgumentParser:
     gen_mkp.add_argument("--knapsacks", type=int, default=5)
     gen_mkp.add_argument("--tightness", type=float, default=0.5)
     gen_mkp.add_argument("--seed", type=int, default=0)
+
+    gen_sat = sub.add_parser(
+        "generate-max3sat",
+        help="write a random Max-3-SAT instance (JSON wire format)",
+    )
+    gen_sat.add_argument("path", type=Path)
+    gen_sat.add_argument("--variables", type=int, default=30)
+    gen_sat.add_argument("--clauses", type=int, default=120)
+    gen_sat.add_argument("--seed", type=int, default=0)
 
     sub.add_parser(
         "info",
@@ -190,7 +201,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _load_instance(path: Path):
-    from repro.problems.io import read_mkp, read_qkp
+    import json
+
+    from repro.problems.io import problem_from_json, read_mkp, read_qkp
 
     suffix = path.suffix.lower()
     if suffix == ".qkp":
@@ -198,21 +211,45 @@ def _load_instance(path: Path):
     if suffix == ".mkp":
         instance, _ = read_mkp(path)
         return instance, "mkp"
-    raise SystemExit(f"unknown instance format {suffix!r} (use .qkp or .mkp)")
+    if suffix == ".json":
+        payload = json.loads(path.read_text())
+        if not isinstance(payload, dict) or "kind" not in payload:
+            raise SystemExit(f"{path} is not a problem JSON (missing 'kind' tag)")
+        try:
+            return problem_from_json(payload), str(payload["kind"])
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+    raise SystemExit(
+        f"unknown instance format {suffix!r} (use .qkp, .mkp, or .json)"
+    )
+
+
+def _describe_instance(instance) -> str:
+    for attribute, unit in (("num_items", "items"),
+                            ("num_variables", "variables"),
+                            ("num_vertices", "vertices")):
+        size = getattr(instance, attribute, None)
+        if size is not None:
+            return f"{size} {unit}"
+    return "unknown size"
 
 
 def _scaled_config(kind: str, iterations: int, mcs: int):
-    """The paper's Table I config scaled to the requested CLI budget."""
+    """The paper's Table I config scaled to the requested CLI budget.
+
+    QKP's recipe (sqrt-decayed, normalized eta) is the generic default for
+    every non-MKP family, including the polynomial ones.
+    """
     from dataclasses import replace
 
     from repro.core.saim import SaimConfig
 
-    if kind == "qkp":
-        config = SaimConfig.qkp_paper().scaled(iterations / 2000, mcs / 1000)
-        return replace(config, eta=80.0, eta_decay="sqrt", normalize_step=True)
-    return SaimConfig.mkp_paper().scaled(
-        iterations / 5000, mcs / 1000, compensate_eta=True
-    )
+    if kind == "mkp":
+        return SaimConfig.mkp_paper().scaled(
+            iterations / 5000, mcs / 1000, compensate_eta=True
+        )
+    config = SaimConfig.qkp_paper().scaled(iterations / 2000, mcs / 1000)
+    return replace(config, eta=80.0, eta_decay="sqrt", normalize_step=True)
 
 
 def _parse_csv(text: str, kind: str, cast):
@@ -245,7 +282,7 @@ def _sweep(args) -> int:
 
     instance, kind = _load_instance(args.path)
     print(f"Loaded {kind.upper()} instance {instance.name!r} "
-          f"({instance.num_items} items)")
+          f"({_describe_instance(instance)})")
 
     methods = _parse_csv(args.methods, "methods", str)
     for method in methods:
@@ -351,6 +388,9 @@ def _solve_method(args, instance, kind) -> int:
                 f"unknown backend {backend!r}; choose from "
                 f"{', '.join(repro.available_backends())}"
             )
+        if backend is None and hasattr(instance, "clauses"):
+            # Polynomial-objective families need the higher-order machine.
+            backend = "higher_order"
         replicas = args.replicas if args.replicas is not None else 1
         if replicas < 1:
             raise SystemExit(f"--replicas must be >= 1, got {replicas}")
@@ -389,10 +429,18 @@ def _solve_method(args, instance, kind) -> int:
         kwargs.update(config=config)
     kwargs.update(rng=args.seed)
 
-    report = repro.solve(instance, method=method, **kwargs)
+    try:
+        report = repro.solve(instance, method=method, **kwargs)
+    except ValueError as exc:
+        # e.g. a quadratic-only backend asked to solve a polynomial family.
+        raise SystemExit(str(exc)) from None
     print(report.summary())
     if report.feasible:
-        print(f"best profit: {-report.best_cost:.0f}")
+        if hasattr(instance, "count_satisfied"):
+            satisfied = instance.count_satisfied(report.best_x)
+            print(f"satisfied clauses: {satisfied}/{instance.num_clauses}")
+        else:
+            print(f"best profit: {-report.best_cost:.0f}")
         selected = [int(i) for i in np.nonzero(report.best_x)[0]]
         print(f"selected items: {selected}")
         return 0
@@ -410,12 +458,18 @@ def _solve(args) -> int:
 
     instance, kind = _load_instance(args.path)
     print(f"Loaded {kind.upper()} instance {instance.name!r} "
-          f"({instance.num_items} items)")
+          f"({_describe_instance(instance)})")
 
     if args.method is not None:
         return _solve_method(args, instance, kind)
     if args.solver is None:
         args.solver = "saim"
+    if kind not in ("qkp", "mkp") and args.solver in ("greedy", "exact", "ga",
+                                                     "penalty"):
+        raise SystemExit(
+            f"--solver {args.solver} supports .qkp/.mkp instances only; "
+            f"use --method for {kind} instances"
+        )
     if args.iterations is None:
         args.iterations = 150
     if args.mcs is None:
@@ -502,7 +556,15 @@ def _solve(args) -> int:
     if args.dtype is not None:
         config = replace(config, dtype=args.dtype)
 
-    backend = args.backend or ("pt" if args.solver == "saim-pt" else "pbit")
+    if args.backend is not None:
+        backend = args.backend
+    elif args.solver == "saim-pt":
+        backend = "pt"
+    elif hasattr(instance, "clauses"):
+        # Polynomial-objective families need the higher-order machine.
+        backend = "higher_order"
+    else:
+        backend = "pbit"
     if backend not in repro.available_backends():
         raise SystemExit(
             f"unknown backend {backend!r}; choose from "
@@ -520,20 +582,28 @@ def _solve(args) -> int:
             config, num_iterations=max(2, config.num_iterations // replicas)
         )
 
-    result = repro.solve(
-        instance,
-        method="saim",
-        backend=backend,
-        config=config,
-        num_replicas=replicas,
-        restart=args.restart if args.restart is not None else "random",
-        rng=args.seed,
-    )
+    try:
+        result = repro.solve(
+            instance,
+            method="saim",
+            backend=backend,
+            config=config,
+            num_replicas=replicas,
+            restart=args.restart if args.restart is not None else "random",
+            rng=args.seed,
+        )
+    except ValueError as exc:
+        # e.g. a quadratic-only backend asked to solve a polynomial family.
+        raise SystemExit(str(exc)) from None
     print(f"SAIM penalty P = {result.penalty:.2f}, "
           f"feasible {100 * result.feasible_ratio:.0f}% "
           f"({result.total_mcs} MCS total)")
     if result.found_feasible:
-        print(f"best profit: {-result.best_cost:.0f}")
+        if hasattr(instance, "count_satisfied"):
+            satisfied = instance.count_satisfied(result.best_x)
+            print(f"satisfied clauses: {satisfied}/{instance.num_clauses}")
+        else:
+            print(f"best profit: {-result.best_cost:.0f}")
         selected = [int(i) for i in np.nonzero(result.best_x)[0]]
         print(f"selected items: {selected}")
         return 0
@@ -611,6 +681,20 @@ def main(argv=None) -> int:
             name=f"{args.items}-{args.knapsacks}-{args.seed}",
         )
         write_mkp(instance, args.path)
+        print(f"wrote {args.path}")
+        return 0
+
+    if args.command == "generate-max3sat":
+        import json
+
+        from repro.problems.io import problem_to_json
+        from repro.problems.max3sat import generate_max3sat
+
+        instance = generate_max3sat(
+            args.variables, args.clauses, rng=args.seed,
+            name=f"max3sat-{args.variables}x{args.clauses}-{args.seed}",
+        )
+        args.path.write_text(json.dumps(problem_to_json(instance)) + "\n")
         print(f"wrote {args.path}")
         return 0
 

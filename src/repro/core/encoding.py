@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.poly import PolyProblem
 from repro.core.problem import ConstrainedProblem, LinearConstraints
 from repro.utils.binary import binary_weights
 
@@ -39,10 +40,10 @@ class EncodedProblem:
         on the *original* constraints, as the paper does).
     """
 
-    problem: ConstrainedProblem
+    problem: ConstrainedProblem | PolyProblem
     num_original: int
     slack_slices: tuple
-    source: ConstrainedProblem
+    source: ConstrainedProblem | PolyProblem
     slack_weights: tuple = ()
 
     @property
@@ -78,13 +79,18 @@ class EncodedProblem:
         return np.asarray(values)
 
 
-def encode_with_slacks(problem: ConstrainedProblem) -> EncodedProblem:
+def encode_with_slacks(problem) -> EncodedProblem:
     """Convert every inequality of ``problem`` into an equality with slacks.
 
     Slack bounds are the constraint bounds ``b_m`` (an all-zero ``x`` is
     always "most feasible" for knapsack-type rows with non-negative ``A``),
     following the paper's ``0 <= x_S <= b`` choice.  Bounds are rounded up to
     integers before the binary decomposition.
+
+    Accepts :class:`~repro.core.problem.ConstrainedProblem` and
+    :class:`~repro.core.poly.PolyProblem`; polynomial objectives pass
+    through untouched (slack bits are appended *after* the original
+    variables, so monomial indices stay valid).
     """
     ineq = problem.inequalities
     n = problem.num_variables
@@ -98,11 +104,6 @@ def encode_with_slacks(problem: ConstrainedProblem) -> EncodedProblem:
 
     total_slack = sum(w.size for w in slack_weight_groups)
     n_ext = n + total_slack
-
-    quad = np.zeros((n_ext, n_ext))
-    quad[:n, :n] = problem.quadratic
-    lin = np.zeros(n_ext)
-    lin[:n] = problem.linear
 
     num_eq = problem.equalities.num_constraints + ineq.num_constraints
     a_eq = np.zeros((num_eq, n_ext))
@@ -120,14 +121,28 @@ def encode_with_slacks(problem: ConstrainedProblem) -> EncodedProblem:
         slack_slices.append(slice(cursor, cursor + weights.size))
         cursor += weights.size
 
-    extended = ConstrainedProblem(
-        quadratic=quad,
-        linear=lin,
-        offset=problem.offset,
-        equalities=LinearConstraints(a_eq, b_eq),
-        inequalities=LinearConstraints.empty(n_ext),
-        name=problem.name,
-    )
+    if isinstance(problem, PolyProblem):
+        extended = PolyProblem(
+            num_variables=n_ext,
+            terms=dict(problem.terms),
+            offset=problem.offset,
+            equalities=LinearConstraints(a_eq, b_eq),
+            inequalities=LinearConstraints.empty(n_ext),
+            name=problem.name,
+        )
+    else:
+        quad = np.zeros((n_ext, n_ext))
+        quad[:n, :n] = problem.quadratic
+        lin = np.zeros(n_ext)
+        lin[:n] = problem.linear
+        extended = ConstrainedProblem(
+            quadratic=quad,
+            linear=lin,
+            offset=problem.offset,
+            equalities=LinearConstraints(a_eq, b_eq),
+            inequalities=LinearConstraints.empty(n_ext),
+            name=problem.name,
+        )
     return EncodedProblem(
         problem=extended,
         num_original=n,
@@ -150,23 +165,30 @@ class NormalizationScales:
     constraint_scales: np.ndarray
 
 
-def normalize_problem(
-    problem: ConstrainedProblem,
-) -> tuple[ConstrainedProblem, NormalizationScales]:
+def normalize_problem(problem) -> tuple:
     """Apply the paper's normalization to an equality-form problem.
 
     The objective is divided by ``max(|Q|, |c|)`` and every equality row by
     ``max(|a_m|, |b_m|)`` so that coefficient magnitudes are <= 1 regardless
     of instance, letting one beta schedule serve all instances (Section
     IV-A).  Feasible sets are unchanged; objective values scale linearly.
+
+    For a :class:`~repro.core.poly.PolyProblem` the objective scale is the
+    largest monomial coefficient magnitude ``max(|w_t|)`` — same spirit,
+    degree-agnostic.
     """
     if problem.inequalities.num_constraints:
         raise ValueError("normalize_problem expects an equality-form problem; encode first")
 
-    obj_scale = max(
-        float(np.max(np.abs(problem.quadratic))) if problem.quadratic.size else 0.0,
-        float(np.max(np.abs(problem.linear))) if problem.linear.size else 0.0,
-    )
+    if isinstance(problem, PolyProblem):
+        obj_scale = max(
+            (abs(coefficient) for coefficient in problem.terms.values()), default=0.0
+        )
+    else:
+        obj_scale = max(
+            float(np.max(np.abs(problem.quadratic))) if problem.quadratic.size else 0.0,
+            float(np.max(np.abs(problem.linear))) if problem.linear.size else 0.0,
+        )
     if obj_scale == 0.0:
         obj_scale = 1.0
 
@@ -182,12 +204,25 @@ def normalize_problem(
         a_scaled[m] /= scale
         b_scaled[m] /= scale
 
-    normalized = ConstrainedProblem(
-        quadratic=problem.quadratic / obj_scale,
-        linear=problem.linear / obj_scale,
-        offset=problem.offset / obj_scale,
-        equalities=LinearConstraints(a_scaled, b_scaled),
-        inequalities=LinearConstraints.empty(problem.num_variables),
-        name=problem.name,
-    )
+    if isinstance(problem, PolyProblem):
+        normalized = PolyProblem(
+            num_variables=problem.num_variables,
+            terms={
+                indices: coefficient / obj_scale
+                for indices, coefficient in problem.terms.items()
+            },
+            offset=problem.offset / obj_scale,
+            equalities=LinearConstraints(a_scaled, b_scaled),
+            inequalities=LinearConstraints.empty(problem.num_variables),
+            name=problem.name,
+        )
+    else:
+        normalized = ConstrainedProblem(
+            quadratic=problem.quadratic / obj_scale,
+            linear=problem.linear / obj_scale,
+            offset=problem.offset / obj_scale,
+            equalities=LinearConstraints(a_scaled, b_scaled),
+            inequalities=LinearConstraints.empty(problem.num_variables),
+            name=problem.name,
+        )
     return normalized, NormalizationScales(obj_scale, row_scales)

@@ -39,6 +39,7 @@ from repro.core.encoding import (
 )
 from repro.core.lagrangian import LagrangianIsing
 from repro.core.penalty import density_heuristic_penalty
+from repro.core.poly import PolyLagrangianIsing, PolyProblem
 from repro.core.problem import ConstrainedProblem
 from repro.core.results import FeasibleRecord, SolveTrace
 from repro.core.saim import _ETA_DECAYS, _SCHEDULES, SaimConfig, SaimResult
@@ -166,7 +167,21 @@ class SaimEngine:
             penalty = float(config.penalty)
         else:
             penalty = density_heuristic_penalty(normalized, alpha=config.alpha)
-        lagrangian = LagrangianIsing(normalized, penalty)
+        if isinstance(normalized, PolyProblem):
+            if not getattr(self.machine_factory, "accepts_poly", False):
+                label = getattr(
+                    self.machine_factory, "backend_name", None
+                ) or getattr(
+                    self.machine_factory, "__name__", repr(self.machine_factory)
+                )
+                raise ValueError(
+                    "problem has a polynomial (PUBO) objective; the "
+                    f"{label!r} backend only handles quadratic "
+                    "models — solve with backend='higher_order'"
+                )
+            lagrangian = PolyLagrangianIsing(normalized, penalty)
+        else:
+            lagrangian = LagrangianIsing(normalized, penalty)
         machine = self._build_machine(lagrangian.base_ising, rng, config.dtype)
         schedule_fn = _SCHEDULES[config.schedule]
         if config.schedule == "linear":

@@ -13,10 +13,12 @@ samples are feasible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import combinations
 
 import numpy as np
 
 from repro.core.encoding import EncodedProblem
+from repro.core.poly import PolyProblem
 from repro.core.problem import ConstrainedProblem
 from repro.core.schedule import linear_beta_schedule
 from repro.ising.model import QuboModel
@@ -52,22 +54,30 @@ def build_penalty_qubo(problem: ConstrainedProblem, penalty: float) -> QuboModel
     )
 
 
-def density_heuristic_penalty(
-    problem: ConstrainedProblem, alpha: float = 2.0
-) -> float:
+def density_heuristic_penalty(problem, alpha: float = 2.0) -> float:
     """The ``P = alpha * d * N`` rule of [16, 17] used by the paper.
 
     ``d`` is the coupling density of the *objective's* quadratic part over
     the extended (slack-included) spin count ``N``.  For linear objectives
     (MKP) the paper approximates ``d = 2 / (N + 1)``, treating the external
     fields as couplings to one extra reference spin.
+
+    For a :class:`~repro.core.poly.PolyProblem` the density counts the
+    distinct variable pairs that co-occur in any order >= 2 monomial — the
+    pair-interaction footprint the polynomial induces.
     """
     check_positive(alpha, "alpha")
     n = problem.num_variables
     if n == 0:
         raise ValueError("problem has no variables")
     pairs = n * (n - 1) / 2.0
-    nonzero = np.count_nonzero(np.triu(problem.quadratic, k=1))
+    if isinstance(problem, PolyProblem):
+        covered = set()
+        for indices in problem.terms:
+            covered.update(combinations(indices, 2))
+        nonzero = len(covered)
+    else:
+        nonzero = np.count_nonzero(np.triu(problem.quadratic, k=1))
     if nonzero == 0 or pairs == 0:
         density = 2.0 / (n + 1)
     else:

@@ -7,6 +7,8 @@
 - :mod:`~repro.problems.knapsack` — plain 0/1 knapsack with an exact DP
   solver (test oracle).
 - :mod:`~repro.problems.maxcut` — unconstrained max-cut (substrate check).
+- :mod:`~repro.problems.max3sat` — Max-3-SAT: a degree-3 polynomial
+  objective for the ``higher_order`` backend.
 - :mod:`~repro.problems.generators` — seeded random instances following the
   published generation recipes of the paper's benchmark sets.
 """
@@ -22,6 +24,7 @@ from repro.problems.generators import (
     paper_mkp_instance,
 )
 from repro.problems.gap import GapInstance, generate_gap, solve_gap_exact
+from repro.problems.max3sat import Max3SatInstance, generate_max3sat
 from repro.problems.mis import MisInstance, random_mis
 from repro.problems.io import (
     write_qkp,
@@ -43,6 +46,8 @@ __all__ = [
     "GapInstance",
     "generate_gap",
     "solve_gap_exact",
+    "Max3SatInstance",
+    "generate_max3sat",
     "MisInstance",
     "random_mis",
     "QkpInstance",

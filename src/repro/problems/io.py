@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.problems.gap import GapInstance
 from repro.problems.knapsack import KnapsackInstance
+from repro.problems.max3sat import Max3SatInstance
 from repro.problems.maxcut import MaxCutInstance
 from repro.problems.mis import MisInstance
 from repro.problems.mkp import MkpInstance
@@ -302,6 +303,20 @@ register_problem_codec(
     lambda d: MisInstance(
         array_from_json(d["weights"]),
         tuple((int(u), int(v)) for u, v in d["edges"]),
+        name=d.get("name", ""),
+    ),
+)
+register_problem_codec(
+    "max3sat",
+    Max3SatInstance,
+    lambda p: {
+        "num_variables": int(p.num_variables),
+        "clauses": [[int(literal) for literal in clause] for clause in p.clauses],
+        "name": p.name,
+    },
+    lambda d: Max3SatInstance(
+        int(d["num_variables"]),
+        tuple(tuple(int(literal) for literal in clause) for clause in d["clauses"]),
         name=d.get("name", ""),
     ),
 )

@@ -1,0 +1,168 @@
+"""Max-3-SAT: the canonical workload a *quadratic* model cannot express.
+
+A 3-literal clause is falsified only by one assignment of its three
+variables, so the "clauses unsatisfied" count is a degree-3 polynomial in
+the binary variables — exactly the territory the ``higher_order`` backend
+opens.  Minimizing that polynomial through ``repro.solve`` maximizes the
+number of satisfied clauses.
+
+Literals use the DIMACS convention: a positive integer ``v`` is variable
+``x_{v-1}`` asserted true, a negative integer ``-v`` is it asserted false;
+variables are 1-based in clauses, 0-based in assignments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.poly import PolyProblem
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_binary_vector
+
+
+@dataclass(frozen=True)
+class Max3SatInstance:
+    """One Max-3-SAT instance as a tuple of DIMACS-style clauses.
+
+    Every clause is a tuple of 1 to 3 signed, 1-based literals over
+    *distinct* variables (a clause naming a variable twice is either
+    trivially satisfiable or reducible, so it is rejected rather than
+    silently simplified).
+    """
+
+    num_variables: int
+    clauses: tuple
+    name: str = ""
+
+    def __post_init__(self):
+        n = int(self.num_variables)
+        if n < 1:
+            raise ValueError(f"num_variables must be >= 1, got {n}")
+        cleaned = []
+        for clause in self.clauses:
+            literals = tuple(int(literal) for literal in clause)
+            if not 1 <= len(literals) <= 3:
+                raise ValueError(
+                    f"clauses must have 1-3 literals, got {clause!r}"
+                )
+            variables = [abs(literal) for literal in literals]
+            if any(literal == 0 for literal in literals):
+                raise ValueError("literal 0 is not a variable (DIMACS is 1-based)")
+            if any(v > n for v in variables):
+                raise ValueError(
+                    f"clause {clause!r} out of range for {n} variables"
+                )
+            if len(set(variables)) != len(variables):
+                raise ValueError(
+                    f"clause {clause!r} repeats a variable; simplify it first"
+                )
+            cleaned.append(literals)
+        if not cleaned:
+            raise ValueError("instance needs at least one clause")
+        object.__setattr__(self, "num_variables", n)
+        object.__setattr__(self, "clauses", tuple(cleaned))
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of clauses."""
+        return len(self.clauses)
+
+    def count_satisfied(self, x) -> int:
+        """Number of clauses satisfied by the 0/1 assignment ``x``."""
+        x = check_binary_vector(x, self.num_variables)
+        satisfied = 0
+        for clause in self.clauses:
+            for literal in clause:
+                value = x[abs(literal) - 1]
+                if (literal > 0 and value == 1) or (literal < 0 and value == 0):
+                    satisfied += 1
+                    break
+        return satisfied
+
+    def to_problem(self) -> PolyProblem:
+        """Unconstrained :class:`~repro.core.poly.PolyProblem` whose
+        objective is the number of UNSATISFIED clauses.
+
+        A clause is falsified iff every literal is false, so its indicator
+        is the product of per-literal "false" factors — ``(1 - x)`` for a
+        positive literal, ``x`` for a negative one — expanded into binary
+        monomials.  The polynomial's minimum is
+        ``num_clauses - max_satisfiable``.
+        """
+        terms: dict = {}
+        offset = 0.0
+        for clause in self.clauses:
+            # Each factor is (constant + sign * x_index); multiply them out
+            # over the subsets of the clause's variables.
+            factors = [
+                (1.0, -1.0, literal - 1) if literal > 0 else (0.0, 1.0, -literal - 1)
+                for literal in clause
+            ]
+            products: dict = {(): 1.0}
+            for constant, sign, index in factors:
+                updated: dict = {}
+                for indices, coefficient in products.items():
+                    if constant != 0.0:
+                        updated[indices] = (
+                            updated.get(indices, 0.0) + coefficient * constant
+                        )
+                    key = tuple(sorted(indices + (index,)))
+                    updated[key] = updated.get(key, 0.0) + coefficient * sign
+                products = updated
+            for indices, coefficient in products.items():
+                if coefficient == 0.0:
+                    continue
+                if indices == ():
+                    offset += coefficient
+                else:
+                    terms[indices] = terms.get(indices, 0.0) + coefficient
+        return PolyProblem(
+            num_variables=self.num_variables,
+            terms=terms,
+            offset=offset,
+            name=self.name,
+        )
+
+    def brute_force_max_satisfied(self) -> tuple[np.ndarray, int]:
+        """Exact best assignment by enumeration (small instances only)."""
+        n = self.num_variables
+        if n > 20:
+            raise ValueError(f"brute force limited to 20 variables, got {n}")
+        problem = self.to_problem()
+        best_x, best_unsat = None, np.inf
+        codes = np.arange(2**n, dtype=np.int64)
+        table = ((codes[:, None] >> np.arange(n)) & 1).astype(float)
+        unsat = np.full(2**n, problem.offset)
+        for indices, coefficient in problem.terms.items():
+            unsat += coefficient * table[:, list(indices)].prod(axis=1)
+        best = int(np.argmin(unsat))
+        best_x = table[best].astype(np.int8)
+        best_unsat = unsat[best]
+        return best_x, self.num_clauses - int(round(best_unsat))
+
+
+def generate_max3sat(num_variables: int, num_clauses: int, rng=None,
+                     name: str = "") -> Max3SatInstance:
+    """Random Max-3-SAT instance with 3 distinct variables per clause.
+
+    Each clause draws 3 distinct variables uniformly and negates each with
+    probability 1/2 (the standard uniform random 3-SAT ensemble; the
+    satisfiability threshold sits near ``num_clauses/num_variables = 4.27``).
+    """
+    if num_variables < 3:
+        raise ValueError(f"need at least 3 variables, got {num_variables}")
+    if num_clauses < 1:
+        raise ValueError(f"need at least one clause, got {num_clauses}")
+    rng = ensure_rng(rng)
+    clauses = []
+    for _ in range(num_clauses):
+        variables = rng.choice(num_variables, size=3, replace=False) + 1
+        signs = np.where(rng.uniform(size=3) < 0.5, -1, 1)
+        clauses.append(tuple(int(v * s) for v, s in zip(variables, signs)))
+    return Max3SatInstance(
+        num_variables=num_variables,
+        clauses=tuple(clauses),
+        name=name or f"max3sat-{num_variables}x{num_clauses}",
+    )

@@ -16,7 +16,9 @@ runtime dependencies.  The surface is deliberately small:
 Failure mapping is part of the contract: a malformed body is ``400``
 with the codec's message, a queue above its high-water mark is ``429``
 with a structured ``queue_full`` payload (depth, high-water, and a
-``retry`` hint) — backpressure is an *answer*, never a hang — and a
+``retry`` hint) plus a ``Retry-After`` header derived from the queue
+depth and measured service rate — backpressure is an *answer*, never a
+hang — and a
 solver error inside a worker is ``500`` carrying the worker's traceback.
 
 Binding ``port=0`` lets the OS pick an ephemeral port (tests); the
@@ -26,6 +28,7 @@ chosen address is ``service.address`` after :meth:`SolverService.start`.
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -52,13 +55,31 @@ class _Handler(BaseHTTPRequestHandler):
     def service(self) -> "SolverService":
         return self.server.service
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict,
+                   headers: dict | None = None) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
+
+    def _retry_after_seconds(self, depth: int) -> int:
+        """Honest drain-time hint for a 429: queue depth over service rate.
+
+        Falls back to one second per queued job per worker when no job has
+        completed yet (no measured rate); clamped to [1, 600] so the header
+        is always a usable positive integer.
+        """
+        stats = self.service.pool.stats()
+        rate = float(stats.get("jobs_per_second", 0.0))
+        if rate > 0.0:
+            wait = depth / rate
+        else:
+            wait = depth / max(1, self.service.pool.num_workers)
+        return max(1, min(600, math.ceil(wait)))
 
     def _read_json(self):
         length = int(self.headers.get("Content-Length", 0))
@@ -93,7 +114,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "high_water": exc.high_water,
                     "retry": True,
                 },
-            })
+            }, headers={"Retry-After": self._retry_after_seconds(exc.depth)})
             return
         except (CodecError, ValueError, TypeError) as exc:
             self._send_json(400, {"error": {"type": "bad_request",

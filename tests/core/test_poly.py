@@ -1,0 +1,256 @@
+"""Tests for polynomial (PUBO) problems and their SAIM Lagrangian
+(repro.core.poly)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.encoding import encode_with_slacks, normalize_problem
+from repro.core.penalty import density_heuristic_penalty
+from repro.core.poly import (
+    PolyLagrangianIsing,
+    PolyProblem,
+    binary_terms_to_spin,
+    build_penalty_poly,
+)
+from repro.core.problem import LinearConstraints
+from tests.helpers import all_binary_vectors
+
+seeds = st.integers(min_value=0, max_value=10**6)
+
+
+def _binary_to_spins(x):
+    return 2.0 * np.asarray(x, dtype=float) - 1.0
+
+
+def random_poly_terms(n, rng, max_order=3, num_terms=8):
+    terms = {}
+    for _ in range(num_terms):
+        size = int(rng.integers(1, max_order + 1))
+        key = tuple(sorted(int(i) for i in rng.choice(n, size=size, replace=False)))
+        terms[key] = float(rng.uniform(-2, 2))
+    return terms
+
+
+def tiny_poly_problem():
+    """3 variables, cubic objective, one equality: x0 + x1 + x2 = 2."""
+    return PolyProblem(
+        num_variables=3,
+        terms={(0,): -1.0, (1,): -2.0, (0, 1): 1.5, (0, 1, 2): -3.0},
+        offset=0.5,
+        equalities=LinearConstraints(np.ones((1, 3)), np.array([2.0])),
+        name="tiny-poly",
+    )
+
+
+class TestPolyProblem:
+    def test_duplicate_terms_merge_and_cancel(self):
+        problem = PolyProblem(3, {(0, 1): 1.0, (1, 0): -1.0, (2,): 2.0})
+        assert problem.terms == {(2,): 2.0}
+        assert problem.max_order == 1
+
+    def test_rejects_constant_term(self):
+        with pytest.raises(ValueError, match="offset"):
+            PolyProblem(2, {(): 1.0})
+
+    def test_rejects_repeated_index(self):
+        with pytest.raises(ValueError, match="repeated"):
+            PolyProblem(2, {(0, 0): 1.0})
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="range"):
+            PolyProblem(2, {(0, 3): 1.0})
+
+    def test_rejects_mismatched_constraint_width(self):
+        with pytest.raises(ValueError, match="variables"):
+            PolyProblem(
+                3, {(0,): 1.0},
+                equalities=LinearConstraints(np.ones((1, 2)), np.array([1.0])),
+            )
+
+    def test_objective_and_feasibility(self):
+        problem = tiny_poly_problem()
+        x = np.array([1, 1, 0])
+        assert problem.objective(x) == pytest.approx(-1.0 - 2.0 + 1.5 + 0.5)
+        assert problem.is_feasible(x)
+        assert not problem.is_feasible([1, 0, 0])
+        value, feasible = problem.check_solution(x)
+        assert value == pytest.approx(-1.0)
+        assert feasible
+        assert problem.num_constraints == 1
+        assert problem.max_order == 3
+
+
+class TestBinaryToSpin:
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_expansion_preserves_values(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 5
+        terms = random_poly_terms(n, rng)
+        offset = float(rng.uniform(-1, 1))
+        spin_terms, spin_offset = binary_terms_to_spin(terms, offset)
+        for x in all_binary_vectors(n):
+            s = _binary_to_spins(x)
+            direct = offset + sum(
+                c * np.prod(x[list(t)]) for t, c in terms.items()
+            )
+            via_spin = spin_offset - sum(
+                c * np.prod(s[list(t)]) for t, c in spin_terms.items()
+            )
+            assert via_spin == pytest.approx(direct, abs=1e-9)
+
+
+class TestBuildPenaltyPoly:
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_energy_is_objective_plus_penalty(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 4
+        problem = PolyProblem(
+            num_variables=n,
+            terms=random_poly_terms(n, rng),
+            offset=float(rng.uniform(-1, 1)),
+            equalities=LinearConstraints(
+                rng.uniform(-1, 2, size=(2, n)), rng.uniform(0, 3, size=2)
+            ),
+        )
+        penalty = 1.7
+        model = build_penalty_poly(problem, penalty)
+        for x in all_binary_vectors(n):
+            residuals = problem.equalities.residuals(x)
+            expected = problem.objective(x) + penalty * float(residuals @ residuals)
+            assert model.energy(_binary_to_spins(x)) == pytest.approx(
+                expected, abs=1e-9
+            )
+
+    def test_rejects_nonpositive_penalty(self):
+        with pytest.raises(ValueError, match="positive"):
+            build_penalty_poly(tiny_poly_problem(), 0.0)
+
+    def test_rejects_inequalities(self):
+        problem = PolyProblem(
+            2, {(0,): 1.0},
+            inequalities=LinearConstraints(np.ones((1, 2)), np.array([1.0])),
+        )
+        with pytest.raises(ValueError, match="equality"):
+            build_penalty_poly(problem, 1.0)
+
+
+class TestPolyLagrangianIsing:
+    @given(st.floats(min_value=-20, max_value=20, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_lagrangian_definition(self, lam):
+        """L(x, lambda) = E(x) + lambda^T g(x) for every x, both forms."""
+        problem = tiny_poly_problem()
+        lag = PolyLagrangianIsing(problem, penalty=1.5)
+        lambdas = np.array([lam])
+        model = lag.ising_for(lambdas)
+        for x in all_binary_vectors(3):
+            residual = problem.equalities.residuals(x)
+            expected = (
+                problem.objective(x)
+                + 1.5 * float(residual @ residual)
+                + lam * residual[0]
+            )
+            assert lag.energy(x, lambdas) == pytest.approx(expected, abs=1e-9)
+            assert model.energy(_binary_to_spins(x)) == pytest.approx(
+                expected, abs=1e-9
+            )
+
+    def test_program_for_matches_fields_and_offset(self):
+        lag = PolyLagrangianIsing(tiny_poly_problem(), penalty=2.0)
+        lambdas = np.array([3.25])
+        fields, offset = lag.program_for(lambdas)
+        np.testing.assert_allclose(fields, lag.fields_for(lambdas))
+        assert offset == pytest.approx(lag.offset_for(lambdas))
+
+    def test_program_for_out_buffer_in_place(self):
+        lag = PolyLagrangianIsing(tiny_poly_problem(), penalty=2.0)
+        out = np.empty(lag.num_spins)
+        fields, _ = lag.program_for(np.array([-1.5]), out=out)
+        assert fields is out
+        np.testing.assert_allclose(out, lag.fields_for(np.array([-1.5])))
+
+    def test_static_terms_never_move_with_lambda(self):
+        lag = PolyLagrangianIsing(tiny_poly_problem(), penalty=2.0)
+        low = lag.ising_for(np.array([-5.0]))
+        high = lag.ising_for(np.array([7.0]))
+        for model in (low, high):
+            assert model.max_order == 3
+        static_low = {t: c for t, c in low.terms.items() if len(t) >= 2}
+        static_high = {t: c for t, c in high.terms.items() if len(t) >= 2}
+        assert static_low == static_high
+
+    def test_zero_lambda_is_base_ising(self):
+        lag = PolyLagrangianIsing(tiny_poly_problem(), penalty=1.0)
+        base = lag.base_ising
+        programmed = lag.ising_for(np.zeros(1))
+        assert programmed.terms == base.terms
+        assert programmed.offset == pytest.approx(base.offset)
+
+    def test_rejects_bad_lambda_shape(self):
+        lag = PolyLagrangianIsing(tiny_poly_problem(), penalty=1.0)
+        with pytest.raises(ValueError, match="multipliers"):
+            lag.energy([1, 1, 0], np.zeros(2))
+
+    def test_rejects_inequality_form(self):
+        problem = PolyProblem(
+            2, {(0,): 1.0},
+            inequalities=LinearConstraints(np.ones((1, 2)), np.array([1.0])),
+        )
+        with pytest.raises(ValueError, match="equality"):
+            PolyLagrangianIsing(problem, 1.0)
+
+
+class TestPolyEncoding:
+    def test_slack_encoding_keeps_monomials_valid(self):
+        problem = PolyProblem(
+            num_variables=3,
+            terms={(0, 1, 2): -2.0, (0,): 1.0},
+            inequalities=LinearConstraints(
+                np.array([[1.0, 1.0, 1.0]]), np.array([2.0])
+            ),
+        )
+        encoded = encode_with_slacks(problem)
+        extended = encoded.problem
+        assert isinstance(extended, PolyProblem)
+        assert extended.num_variables > 3
+        assert encoded.num_original == 3
+        assert extended.inequalities.num_constraints == 0
+        # Original monomials untouched; slack bits only enter the equality.
+        assert extended.terms == problem.terms
+        assert encoded.source is problem
+
+    def test_normalize_scales_terms_and_rows(self):
+        problem = encode_with_slacks(
+            PolyProblem(
+                num_variables=3,
+                terms={(0, 1, 2): -8.0, (0,): 4.0},
+                inequalities=LinearConstraints(
+                    np.array([[2.0, 2.0, 2.0]]), np.array([4.0])
+                ),
+            )
+        ).problem
+        normalized, scales = normalize_problem(problem)
+        assert scales.objective_scale == pytest.approx(8.0)
+        assert max(abs(c) for c in normalized.terms.values()) == pytest.approx(1.0)
+        a = normalized.equalities.coefficients
+        assert float(np.max(np.abs(a))) <= 1.0 + 1e-12
+        # Feasible sets unchanged: scaled residual zero iff original zero.
+        for x in all_binary_vectors(problem.num_variables):
+            original = problem.equalities.residuals(x)
+            scaled = normalized.equalities.residuals(x)
+            assert (np.abs(original) < 1e-9).all() == (np.abs(scaled) < 1e-9).all()
+
+    def test_density_heuristic_counts_monomial_pairs(self):
+        # A single cubic term covers 3 of the 6 variable pairs of n = 4:
+        # P = alpha * (3 / 6) * n.
+        problem = PolyProblem(4, {(0, 1, 2): 1.0, (3,): 1.0})
+        penalty = density_heuristic_penalty(problem, alpha=2.0)
+        assert penalty == pytest.approx(2.0 * (3 / 6) * 4)
+        # No pair-interactions at all: the paper's linear-objective fallback.
+        linear = PolyProblem(4, {(0,): 1.0, (3,): 1.0})
+        assert density_heuristic_penalty(linear, alpha=2.0) == pytest.approx(
+            2.0 * (2.0 / 5.0) * 4
+        )

@@ -25,6 +25,18 @@ class TestReadme:
         assert fast.num_replicas == 32
         assert fast.num_iterations > 0
 
+    def test_higher_order_snippet_executes(self):
+        text = README.read_text()
+        blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+        snippets = [b for b in blocks if "higher_order" in b]
+        assert snippets, "README has no higher-order python block"
+        namespace = {}
+        exec(compile(snippets[0], "README.md", "exec"), namespace)
+        instance = namespace["instance"]
+        report = namespace["report"]
+        assert 0 <= instance.count_satisfied(report.best_x) <= instance.num_clauses
+        assert namespace["cubic"].num_iterations > 0
+
     def test_mentions_all_deliverable_paths(self):
         text = README.read_text()
         for token in ("examples/", "tests/", "benchmarks/", "DESIGN.md",

@@ -4,12 +4,14 @@ import numpy as np
 import pytest
 
 from repro.core.schedule import linear_beta_schedule
-from repro.ising.exhaustive import brute_force_ground_state
+from repro.ising.exhaustive import brute_force_ground_state, enumerate_energies
 from repro.ising.higher_order import (
     HigherOrderPBitMachine,
     PolyIsingModel,
     enumerate_poly_energies,
 )
+from repro.ising.pbit import PBitMachine
+from repro.utils.rng import spawn_rngs
 from tests.helpers import random_ising
 
 
@@ -66,6 +68,39 @@ class TestPolyIsingModel:
         assert model.energy([1, 1, 1]) == pytest.approx(-2.0)
         assert model.energy([1, -1, 1]) == pytest.approx(2.0)
 
+    def test_cancelled_duplicate_terms_are_pruned(self):
+        # Regression: {(0,1): +1, (1,0): -1} must cancel to *no* term, not
+        # survive as a 0.0 entry that inflates max_order and the machine's
+        # per-spin term lists.
+        model = PolyIsingModel(4, {(0, 1): 1.0, (1, 0): -1.0, (2,): 0.5})
+        assert model.terms == {(2,): 0.5}
+        assert model.max_order == 1
+        machine = HigherOrderPBitMachine(model)
+        assert all(ids.size == 0 for ids in machine._term_ids)
+        # An exact-zero coefficient passed directly is pruned too.
+        assert PolyIsingModel(3, {(0, 1): 0.0}).terms == {}
+        assert PolyIsingModel(3, {(0, 1): 0.0}).max_order == 0
+
+    def test_from_quadratic_sparse_matches_dense(self):
+        # Regression: from_quadratic assumed a dense coupling; CSR-backed
+        # models (the chromatic machine's storage) must lift identically.
+        sp = pytest.importorskip("scipy.sparse")
+        from repro.ising.sparse import SparseIsingModel
+
+        dense = random_ising(9, rng=13, density=0.4)
+        sparse = SparseIsingModel.from_dense(dense)
+        assert sp.issparse(sparse.coupling)
+        lifted_sparse = PolyIsingModel.from_quadratic(sparse)
+        lifted_dense = PolyIsingModel.from_quadratic(dense)
+        assert lifted_sparse.terms == lifted_dense.terms
+        assert lifted_sparse.offset == lifted_dense.offset
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            spins = rng.choice([-1.0, 1.0], size=9)
+            assert lifted_sparse.energy(spins) == pytest.approx(
+                dense.energy(spins), rel=1e-12
+            )
+
     def test_local_field_matches_flip_delta(self):
         model = random_cubic_model(6, seed=2)
         rng = np.random.default_rng(3)
@@ -113,6 +148,70 @@ class TestHigherOrderPBitMachine:
         with pytest.raises(ValueError):
             machine.anneal(np.array([]))
 
+    def test_incremental_energy_matches_recompute_over_long_anneal(self):
+        # Regression: best/last energies come from incremental flip deltas
+        # with no full recompute — over a long anneal they must still agree
+        # with model.energy to float64 accuracy, and the best energy must be
+        # genuinely attained by the best sample.
+        model = random_cubic_model(12, seed=8)
+        machine = HigherOrderPBitMachine(model, rng=3)
+        schedule = linear_beta_schedule(6.0, 500)
+        result = machine.anneal_many(schedule, 3, record_energy=True)
+        for r in range(3):
+            run = result.per_run(r)
+            assert run.last_energy == pytest.approx(
+                model.energy(run.last_sample), rel=1e-12, abs=1e-12
+            )
+            assert run.best_energy == pytest.approx(
+                model.energy(run.best_sample), rel=1e-12, abs=1e-12
+            )
+            # best never misses a sweep-boundary energy (and may only beat
+            # the trace via the pre-sweep initial state).
+            assert run.best_energy <= np.min(run.energy_trace) + 1e-12
+
+    def test_statistical_parity_with_quadratic_pbit_machine(self):
+        # Same >= 0 threshold semantics as PBitMachine: on a lifted
+        # quadratic model, ensembles from both machines should land in the
+        # same energy range (seeded, so deterministic — this pins gross
+        # semantic drift like a flipped threshold or halved beta).
+        dense = random_ising(10, rng=11)
+        poly = PolyIsingModel.from_quadratic(dense)
+        schedule = linear_beta_schedule(4.0, 120)
+        replicas = 48
+        quad = PBitMachine(dense, rng=1).anneal_many(schedule, replicas)
+        high = HigherOrderPBitMachine(poly, rng=2).anneal_many(
+            schedule, replicas
+        )
+        mean_q = float(np.mean(quad.best_energies))
+        mean_h = float(np.mean(high.best_energies))
+        pooled = np.sqrt(
+            np.var(quad.best_energies) / replicas
+            + np.var(high.best_energies) / replicas
+        )
+        assert abs(mean_q - mean_h) <= 4.0 * pooled + 1e-9
+
+    def test_batched_bit_identical_to_sequential_spawned_runs(self):
+        # The R > 1 lock-step kernel must reproduce R serial runs on the
+        # spawned child streams bit for bit — samples AND energies.
+        model = random_cubic_model(9, seed=12)
+        schedule = linear_beta_schedule(5.0, 80)
+        replicas = 5
+        batch = HigherOrderPBitMachine(
+            model, rng=np.random.default_rng(99)
+        ).anneal_many(schedule, replicas, record_energy=True)
+        children = spawn_rngs(np.random.default_rng(99), replicas)
+        for r in range(replicas):
+            serial = HigherOrderPBitMachine(model, rng=children[r]).anneal(
+                schedule, record_energy=True
+            )
+            np.testing.assert_array_equal(batch.last_samples[r], serial.last_sample)
+            np.testing.assert_array_equal(batch.best_samples[r], serial.best_sample)
+            assert batch.last_energies[r] == serial.last_energy
+            assert batch.best_energies[r] == serial.best_energy
+            np.testing.assert_array_equal(
+                batch.energy_traces[r], serial.energy_trace
+            )
+
 
 class TestEnumeration:
     def test_size_limit(self):
@@ -125,3 +224,16 @@ class TestEnumeration:
         for code in (0, 5, 63):
             bits = (code >> np.arange(6)) & 1
             assert energies[code] == pytest.approx(model.energy(2.0 * bits - 1.0))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bit_order_agrees_with_quadratic_exhaustive(self, seed):
+        # Both enumerators use LSB-first bit -> spin index, bit 1 -> spin +1;
+        # on a lifted quadratic model the full tables (hence the argmin
+        # state) must agree.
+        dense = random_ising(7, rng=seed)
+        poly_energies = enumerate_poly_energies(PolyIsingModel.from_quadratic(dense))
+        quad_energies = enumerate_energies(dense)
+        np.testing.assert_allclose(
+            poly_energies, quad_energies, rtol=1e-12, atol=1e-12
+        )
+        assert int(np.argmin(poly_energies)) == int(np.argmin(quad_energies))

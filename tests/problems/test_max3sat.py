@@ -1,0 +1,147 @@
+"""Tests for the Max-3-SAT problem family (repro.problems.max3sat)."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.problems import (
+    Max3SatInstance,
+    generate_max3sat,
+    problem_from_json,
+    problem_to_json,
+)
+
+seeds = st.integers(min_value=0, max_value=10**6)
+
+FAST = dict(num_iterations=8, mcs_per_run=80)
+
+
+def tiny_instance():
+    """4 variables, 5 clauses, optimum known by brute force."""
+    return Max3SatInstance(
+        num_variables=4,
+        clauses=((1, 2, 3), (-1, 2, 4), (-2, -3, 4), (1, -4), (3,)),
+        name="tiny",
+    )
+
+
+class TestValidation:
+    def test_rejects_empty_clause_list(self):
+        with pytest.raises(ValueError, match="at least one clause"):
+            Max3SatInstance(3, ())
+
+    def test_rejects_too_many_literals(self):
+        with pytest.raises(ValueError, match="1-3 literals"):
+            Max3SatInstance(4, ((1, 2, 3, 4),))
+
+    def test_rejects_zero_literal(self):
+        with pytest.raises(ValueError, match="1-based"):
+            Max3SatInstance(3, ((0, 1),))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Max3SatInstance(3, ((1, 4),))
+
+    def test_rejects_repeated_variable(self):
+        with pytest.raises(ValueError, match="repeats"):
+            Max3SatInstance(3, ((1, -1, 2),))
+
+    def test_rejects_no_variables(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            Max3SatInstance(0, ((1,),))
+
+
+class TestSemantics:
+    def test_count_satisfied_by_hand(self):
+        instance = tiny_instance()
+        # x = (1, 0, 1, 0): clause-by-clause: T, F, T, T, T.
+        assert instance.count_satisfied([1, 0, 1, 0]) == 4
+        # x = (0, 1, 1, 1) falsifies (-2,-3,4)? no — x4 = 1 satisfies it;
+        # (1,-4) has x1 = 0 and x4 = 1: falsified.
+        assert instance.count_satisfied([0, 1, 1, 1]) == 4
+        assert instance.num_clauses == 5
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_objective_counts_unsatisfied_clauses(self, seed):
+        rng = np.random.default_rng(seed)
+        instance = generate_max3sat(6, 12, rng=rng)
+        problem = instance.to_problem()
+        assert problem.num_constraints == 0
+        assert problem.max_order <= 3
+        for _ in range(8):
+            x = rng.integers(0, 2, size=6)
+            unsatisfied = instance.num_clauses - instance.count_satisfied(x)
+            assert problem.objective(x) == pytest.approx(unsatisfied, abs=1e-9)
+
+    def test_brute_force_matches_enumeration(self):
+        instance = tiny_instance()
+        best_x, best_satisfied = instance.brute_force_max_satisfied()
+        counts = [
+            instance.count_satisfied((code >> np.arange(4)) & 1)
+            for code in range(16)
+        ]
+        assert best_satisfied == max(counts)
+        assert instance.count_satisfied(best_x) == best_satisfied
+
+    def test_brute_force_size_limit(self):
+        instance = generate_max3sat(21, 10, rng=0)
+        with pytest.raises(ValueError, match="limited"):
+            instance.brute_force_max_satisfied()
+
+
+class TestGenerator:
+    def test_deterministic_and_well_formed(self):
+        first = generate_max3sat(10, 40, rng=5)
+        second = generate_max3sat(10, 40, rng=5)
+        assert first == second
+        assert first.name == "max3sat-10x40"
+        assert first.num_clauses == 40
+        for clause in first.clauses:
+            assert len(clause) == 3
+            variables = [abs(literal) for literal in clause]
+            assert len(set(variables)) == 3
+            assert all(1 <= v <= 10 for v in variables)
+
+    def test_rejects_tiny_inputs(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            generate_max3sat(2, 5)
+        with pytest.raises(ValueError, match="at least one"):
+            generate_max3sat(5, 0)
+
+
+class TestCodec:
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_json_round_trip(self, seed):
+        instance = generate_max3sat(8, 20, rng=seed)
+        decoded = problem_from_json(
+            json.loads(json.dumps(problem_to_json(instance)))
+        )
+        assert decoded == instance
+
+
+class TestFrontDoor:
+    def test_solve_reaches_brute_force_optimum(self):
+        instance = generate_max3sat(8, 24, rng=3)
+        _, best_satisfied = instance.brute_force_max_satisfied()
+        report = repro.solve(
+            instance, backend="higher_order", rng=7, **FAST
+        )
+        assert report.feasible
+        solved = instance.count_satisfied(report.best_x)
+        assert solved == best_satisfied
+        assert report.best_cost == pytest.approx(
+            instance.num_clauses - solved, abs=1e-9
+        )
+
+    def test_backend_must_accept_polynomials(self):
+        with pytest.raises(ValueError, match="higher_order"):
+            repro.solve(tiny_instance(), backend="pbit", rng=0, **FAST)
+
+    def test_penalty_method_rejects_polynomials(self):
+        with pytest.raises(ValueError, match="higher_order"):
+            repro.solve(tiny_instance(), method="penalty", rng=0)

@@ -42,6 +42,23 @@ def http_json(base, path, payload=None, timeout=60.0):
         return error.code, json.loads(error.read())
 
 
+def http_json_headers(base, path, payload=None, timeout=60.0):
+    """Like :func:`http_json`, but also returns the response headers."""
+    url = base + path
+    if payload is None:
+        request = urllib.request.Request(url)
+    else:
+        body = json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            url, data=body, headers={"Content-Type": "application/json"},
+        )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read()), response.headers
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), error.headers
+
+
 def wire_job(instance, seed, **kwargs):
     return job_to_wire(
         SolveJob(instance, rng=seed, config_overrides=dict(FAST)), **kwargs
@@ -178,13 +195,16 @@ class TestBackpressure:
             live.pool.pause()
             accepted = []
             rejection = None
+            rejection_headers = None
             for seed in range(10):
                 payload = wire_job(instance, seed)
                 payload["mode"] = "async"
-                status, body = http_json(base, "/v1/solve", payload,
-                                         timeout=10.0)
+                status, body, headers = http_json_headers(
+                    base, "/v1/solve", payload, timeout=10.0
+                )
                 if status == 429:
                     rejection = body
+                    rejection_headers = headers
                     break
                 assert status == 202
                 accepted.append(body["id"])
@@ -193,6 +213,11 @@ class TestBackpressure:
             assert rejection["error"]["high_water"] == 2
             assert rejection["error"]["depth"] == 2
             assert rejection["error"]["retry"] is True
+            # The JSON retry hint is mirrored as a real Retry-After header
+            # (an integer number of seconds, always >= 1).
+            retry_after = rejection_headers.get("Retry-After")
+            assert retry_after is not None
+            assert int(retry_after) >= 1
             stats = http_json(base, "/v1/stats")[1]
             assert stats["paused"] is True
             assert stats["queue"]["rejected"] >= 1
