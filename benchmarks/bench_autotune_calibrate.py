@@ -1,0 +1,294 @@
+"""Calibrate the ``method="auto"`` perf model on this host.
+
+The planner (:mod:`repro.planner`) prices candidate machine
+configurations with a persisted :class:`~repro.planner.model.PerfModel`:
+five linear weights per ``backend:variant:dtype`` key over the basis
+``[1, n, n*r, terms, terms*r]``.  This bench produces that model the
+honest way — it times the real annealing kernels on *this* machine over
+an (n, r) grid per configuration, fits the weights by least squares, and
+persists the result to ``~/.cache/repro/perf_model.json`` (or
+``--model-path``).  At non-smoke scales it also measures the
+fused-vs-process crossover of the batch executor and records the largest
+fused-winning size as the ``fused_max_variables`` tunable.
+
+Configurations calibrated:
+
+- ``pbit:lockstep:{float64,float32}`` — the speculative-block lock-step
+  scan on dense SAIM Lagrangians;
+- ``pbit:serial:float64`` — the R=1 reference sweep (priced so the
+  planner can *reject* it on anything but tiny shapes);
+- ``chromatic:{csr,dense}:{float64,float32}`` — the graph-colored
+  replica-batched kernels on sparse couplings;
+- ``higher_order::float64`` — the polynomial (PUBO) machine.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_autotune_calibrate.py [--smoke]
+        [--model-path PATH] [--bootstrap]
+
+``--bootstrap`` skips the timing sweep and fits the portable prior from
+the committed repo-root ``BENCH_*.json`` grids instead (what a fresh
+checkout can do before ever running a kernel).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _common import REPO_ROOT, archive_bench_json  # noqa: E402
+
+from repro.core.lagrangian import saim_lagrangian  # noqa: E402
+from repro.core.saim import SaimConfig  # noqa: E402
+from repro.core.schedule import linear_beta_schedule  # noqa: E402
+from repro.ising.higher_order import HigherOrderPBitMachine, PolyIsingModel  # noqa: E402
+from repro.ising.pbit import PBitMachine  # noqa: E402
+from repro.ising.sparse import ChromaticPBitMachine, random_sparse_ising  # noqa: E402
+from repro.planner.model import (  # noqa: E402
+    PerfModel,
+    bootstrap_model,
+    config_key,
+    fit_weights,
+)
+from repro.problems.generators import generate_qkp  # noqa: E402
+from repro.runtime.executor import SolveJob, solve_many  # noqa: E402
+
+# Per scale: dense QKP item counts, sparse spin counts, poly spin counts,
+# replica widths, sweeps per timed run, and the per-instance sizes probed
+# for the fused-vs-process crossover (empty = keep the pinned tunable).
+_SIZES = {
+    "smoke": dict(dense=(24, 48), sparse=(32, 64), poly=(16, 32),
+                  replicas=(1, 8), sweeps=24, crossover=()),
+    "ci": dict(dense=(32, 96), sparse=(48, 128), poly=(20, 48),
+               replicas=(1, 16), sweeps=60, crossover=(32, 96)),
+    "full": dict(dense=(48, 150, 300), sparse=(64, 256, 1024),
+                 poly=(24, 64, 128), replicas=(1, 16, 64), sweeps=120,
+                 crossover=(32, 96, 192, 384)),
+}
+
+
+def _scale_name() -> str:
+    name = os.environ.get("REPRO_SCALE", "ci").lower()
+    return name if name in _SIZES else "ci"
+
+
+def _cpu_count() -> int:
+    return len(os.sched_getaffinity(0))
+
+
+def _dense_lagrangian(num_items: int):
+    instance = generate_qkp(num_items, 0.5, rng=11)
+    model = saim_lagrangian(instance.to_problem()).base_ising
+    terms = int(np.count_nonzero(np.triu(model.coupling, 1)))
+    return model, terms
+
+
+def _sparse_model(num_spins: int):
+    model = random_sparse_ising(num_spins, degree=6, rng=7)
+    terms = int(model.coupling.nnz // 2)
+    return model, terms
+
+
+def _poly_model(num_spins: int):
+    """A random cubic PUBO with ~3n monomials (Max-3-SAT-like density)."""
+    rng = np.random.default_rng(23)
+    terms = {}
+    for _ in range(3 * num_spins):
+        triple = tuple(sorted(rng.choice(num_spins, size=3, replace=False)))
+        terms[triple] = terms.get(triple, 0.0) + float(rng.normal())
+    return PolyIsingModel(num_spins, terms), len(terms)
+
+
+def _time_batch(build, schedule, replicas: int) -> float:
+    """Seconds for one replica-batched anneal (after a short warm-up)."""
+    machine = build()
+    machine.anneal_many(schedule[: max(2, schedule.size // 6)],
+                        min(replicas, 2))
+    machine = build()  # fresh RNG: every timing anneals the same stream
+    start = time.perf_counter()
+    batch = machine.anneal_many(schedule, replicas)
+    seconds = time.perf_counter() - start
+    assert np.all(np.isfinite(batch.best_energies))
+    return seconds
+
+
+def _sample_grid(spec) -> dict[str, list]:
+    """Time every configuration over the (n, r) grid; per-key sample rows."""
+    schedule = linear_beta_schedule(10.0, spec["sweeps"])
+    sweeps = int(schedule.size)
+    samples: dict[str, list] = {}
+
+    def record(key, n, r, terms, seconds):
+        samples.setdefault(key, []).append((n, r, terms, seconds / sweeps))
+
+    for num_items in spec["dense"]:
+        model, terms = _dense_lagrangian(num_items)
+        n = model.num_spins
+        for replicas in spec["replicas"]:
+            for dtype in ("float64", "float32"):
+                seconds = _time_batch(
+                    lambda d=dtype: PBitMachine(model, rng=0, dtype=d),
+                    schedule, replicas,
+                )
+                record(config_key("pbit", kernel="lockstep", dtype=dtype),
+                       n, replicas, terms, seconds)
+            if replicas == 1:
+                seconds = _time_batch(
+                    lambda: PBitMachine(model, rng=0, kernel="serial"),
+                    schedule, 1,
+                )
+                record(config_key("pbit", kernel="serial"), n, 1, terms,
+                       seconds)
+
+    for num_spins in spec["sparse"]:
+        model, terms = _sparse_model(num_spins)
+        for replicas in spec["replicas"]:
+            for dtype in ("float64", "float32"):
+                for storage in ("csr", "dense"):
+                    seconds = _time_batch(
+                        lambda d=dtype, s=storage: ChromaticPBitMachine(
+                            model, rng=0, dtype=d, storage=s),
+                        schedule, replicas,
+                    )
+                    record(config_key("chromatic", storage=storage,
+                                      dtype=dtype),
+                           num_spins, replicas, terms, seconds)
+
+    for num_spins in spec["poly"]:
+        model, terms = _poly_model(num_spins)
+        for replicas in spec["replicas"]:
+            seconds = _time_batch(
+                lambda: HigherOrderPBitMachine(model, rng=0),
+                schedule, replicas,
+            )
+            record(config_key("higher_order"), num_spins, replicas, terms,
+                   seconds)
+
+    return samples
+
+
+def _measure_crossover(sizes) -> tuple[int | None, list[dict]]:
+    """Largest per-instance size where the fused fleet beats processes.
+
+    Four-job batches per size, both strategies through the public
+    :func:`repro.solve_many`.  Returns ``(cap, records)``; ``cap`` is
+    ``None`` when fused never wins (keep the pinned tunable).
+    """
+    records = []
+    cap = None
+    config = SaimConfig(num_iterations=12, mcs_per_run=60)
+    for size in sizes:
+        jobs = [
+            SolveJob(problem=generate_qkp(size, 0.5, rng=seed),
+                     config=config, rng=seed)
+            for seed in range(4)
+        ]
+        timings = {}
+        for strategy in ("fused", "process"):
+            start = time.perf_counter()
+            solve_many(jobs, max_workers=min(4, _cpu_count()),
+                       strategy=strategy)
+            timings[strategy] = time.perf_counter() - start
+        fused_wins = timings["fused"] <= timings["process"]
+        records.append({
+            "num_items": size,
+            "fused_seconds": timings["fused"],
+            "process_seconds": timings["process"],
+            "fused_wins": fused_wins,
+        })
+        if fused_wins:
+            cap = size
+    return cap, records
+
+
+def run_calibration(scale: str | None = None, *, model_path=None,
+                    bootstrap: bool = False) -> dict:
+    """Fit (or bootstrap) the perf model, persist it, archive the record."""
+    scale = scale or _scale_name()
+    spec = _SIZES[scale]
+
+    if bootstrap:
+        model = bootstrap_model(REPO_ROOT)
+        if model is None:
+            raise SystemExit(
+                "no committed BENCH_*.json grids found to bootstrap from; "
+                "run the timing sweep instead (drop --bootstrap)"
+            )
+        crossover_records = []
+    else:
+        samples = _sample_grid(spec)
+        configs = {key: fit_weights(rows) for key, rows in samples.items()}
+        tunables = {}
+        crossover_records = []
+        if spec["crossover"]:
+            cap, crossover_records = _measure_crossover(spec["crossover"])
+            if cap is not None:
+                tunables["fused_max_variables"] = float(cap)
+        model = PerfModel(
+            configs, tunables=tunables,
+            host={
+                "cpu_count": _cpu_count(),
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+            },
+            source="calibration",
+        )
+
+    saved_to = model.save(model_path)
+    report = {
+        "bench": "autotune_calibrate",
+        "scale": scale,
+        "timestamp": time.time(),
+        "cpu_count": _cpu_count(),
+        "source": model.source,
+        "model_path": str(saved_to),
+        "configs": sorted(model.configs),
+        "tunables": dict(model.tunables),
+        "crossover": crossover_records,
+    }
+    out_path = archive_bench_json("autotune_calibrate", report)
+
+    print(f"\nPerf-model calibration ({scale} scale, {model.source}, "
+          f"{_cpu_count()} CPUs):")
+    for key in sorted(model.configs):
+        weights = ", ".join(f"{w:+.3e}" for w in model.configs[key])
+        print(f"  {key:<28} [{weights}]")
+    for record in crossover_records:
+        verdict = "fused" if record["fused_wins"] else "process"
+        print(f"  crossover n={record['num_items']:<4d} "
+              f"fused {record['fused_seconds']:.3f}s vs process "
+              f"{record['process_seconds']:.3f}s -> {verdict}")
+    print(f"model -> {saved_to}")
+    print(f"archived {out_path}")
+    return report
+
+
+def test_autotune_calibrate(benchmark, tmp_path):
+    """Calibration must fit every planner-facing config and persist."""
+    report = benchmark.pedantic(
+        lambda: run_calibration(model_path=tmp_path / "perf_model.json"),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    from repro.planner.model import load_model
+
+    model = load_model(report["model_path"])
+    for key in ("pbit:lockstep:float64", "pbit:lockstep:float32",
+                "pbit:serial:float64", "chromatic:csr:float64",
+                "chromatic:dense:float64", "higher_order::float64"):
+        assert model.covers(key), f"calibration missed {key}"
+    assert model.source == "calibration"
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        os.environ["REPRO_SCALE"] = "smoke"
+    path = None
+    if "--model-path" in sys.argv:
+        path = Path(sys.argv[sys.argv.index("--model-path") + 1])
+    run_calibration(model_path=path, bootstrap="--bootstrap" in sys.argv)

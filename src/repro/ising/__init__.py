@@ -26,8 +26,6 @@ from repro.ising.energy import (
     ising_energies,
     qubo_energy,
     qubo_energies,
-    flip_delta,
-    input_fields,
 )
 from repro.ising.pbit import PBitMachine, AnnealResult
 from repro.ising.sa import simulated_annealing, SAResult, MetropolisMachine
@@ -82,8 +80,6 @@ __all__ = [
     "ising_energies",
     "qubo_energy",
     "qubo_energies",
-    "flip_delta",
-    "input_fields",
     "PBitMachine",
     "AnnealResult",
     "simulated_annealing",

@@ -25,6 +25,12 @@ import numpy as np
 from scipy import sparse as sp
 
 from repro.ising.backend import resolve_dtype
+# Coupling-graph density (off-diagonal nonzeros / possible off-diagonal
+# entries) at and above which the chromatic machine auto-selects dense
+# per-color row blocks.  The measured cutover lives with the platform's
+# other tunables (the solve planner consults the same number); re-exported
+# here because this module is where the auto-selection happens.
+from repro.planner.tunables import DENSE_STORAGE_DENSITY
 from repro.utils.rng import ensure_rng
 
 
@@ -78,13 +84,6 @@ class SparseIsingModel:
             (int(i), int(j)) for i, j in zip(rows, cols) if i < j
         )
         return graph
-
-
-#: Coupling-graph density (off-diagonal nonzeros / possible off-diagonal
-#: entries) at and above which the chromatic machine auto-selects dense
-#: per-color row blocks: contiguous BLAS beats CSR once a quarter of the
-#: possible edges exist (CSR's index indirection stops paying for itself).
-DENSE_STORAGE_DENSITY = 0.25
 
 
 def coupling_density(model: SparseIsingModel) -> float:

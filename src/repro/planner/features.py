@@ -1,0 +1,216 @@
+"""Cheap, deterministic instance features for the solve planner.
+
+The planner must be allowed on the hot path, so feature extraction is a
+handful of O(nnz) numpy reductions over the already-built problem — no
+encoding, no machine construction.  :class:`InstanceFeatures` is a frozen
+dataclass of plain ints/floats/bools, so it pickles, JSON-serializes
+(:meth:`InstanceFeatures.as_dict`), and hashes to a stable
+:meth:`fingerprint` that identifies the *shape* of an instance (two
+instances with the same features plan identically).
+
+Batch-level planning (``solve_many(strategy="auto")``) uses
+:class:`BatchFeatures` over the per-job variable counts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+__all__ = [
+    "BatchFeatures",
+    "InstanceFeatures",
+    "extract_batch_features",
+    "extract_features",
+]
+
+
+@dataclass(frozen=True)
+class InstanceFeatures:
+    """Shape of one instance, as the planner sees it.
+
+    Attributes
+    ----------
+    kind:
+        ``"quadratic"`` (:class:`~repro.core.problem.ConstrainedProblem`)
+        or ``"poly"`` (:class:`~repro.core.poly.PolyProblem`).
+    num_variables / num_constraints:
+        Decision variables and total linear constraint rows (equalities
+        plus inequalities).
+    num_terms:
+        Nonzero objective coefficients: strict-upper-triangle couplings
+        plus nonzero linear entries for quadratic problems, monomials for
+        polynomial ones.
+    coupling_density:
+        Nonzero pairwise couplings over ``N * (N - 1) / 2`` (polynomial
+        problems count their degree-2+ monomial pair closure the same
+        way), clipped to ``[0, 1]``.
+    weight_range:
+        ``max|w| / min|w|`` over nonzero objective coefficients (1.0 when
+        uniform or empty).
+    integral_weights:
+        True when every objective coefficient is a whole number.
+    poly_degree:
+        Largest monomial degree (2 for quadratic problems).
+    """
+
+    kind: str
+    num_variables: int
+    num_constraints: int
+    num_terms: int
+    coupling_density: float
+    weight_range: float
+    integral_weights: bool
+    poly_degree: int
+
+    def as_dict(self) -> dict:
+        """Plain-JSON form (the wire/detail representation)."""
+        payload = asdict(self)
+        payload["coupling_density"] = float(self.coupling_density)
+        payload["weight_range"] = float(self.weight_range)
+        payload["integral_weights"] = bool(self.integral_weights)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InstanceFeatures":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            kind=str(payload["kind"]),
+            num_variables=int(payload["num_variables"]),
+            num_constraints=int(payload["num_constraints"]),
+            num_terms=int(payload["num_terms"]),
+            coupling_density=float(payload["coupling_density"]),
+            weight_range=float(payload["weight_range"]),
+            integral_weights=bool(payload["integral_weights"]),
+            poly_degree=int(payload["poly_degree"]),
+        )
+
+    def fingerprint(self) -> str:
+        """16-hex-char digest of the canonical feature repr.
+
+        Floats hash by ``repr`` (exact round-trip spelling), so equal
+        features fingerprint equally across processes and platforms.
+        """
+        canonical = "|".join(
+            f"{key}={value!r}" for key, value in sorted(self.as_dict().items())
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class BatchFeatures:
+    """Shape of a ``solve_many`` batch, for executor-strategy planning."""
+
+    num_jobs: int
+    max_variables: int
+    total_variables: int
+
+    def as_dict(self) -> dict:
+        """Plain-JSON form."""
+        return asdict(self)
+
+
+def _pair_count(n: int) -> int:
+    return n * (n - 1) // 2
+
+
+def _weight_stats(values: np.ndarray) -> tuple[float, bool]:
+    """(max/min magnitude ratio, integrality) over nonzero coefficients."""
+    magnitudes = np.abs(values[values != 0.0])
+    if magnitudes.size == 0:
+        return 1.0, True
+    weight_range = float(magnitudes.max() / magnitudes.min())
+    integral = bool(np.all(values == np.round(values)))
+    return weight_range, integral
+
+
+def _constraint_rows(problem) -> int:
+    total = 0
+    for block_name in ("equalities", "inequalities"):
+        block = getattr(problem, block_name, None)
+        if block is not None:
+            total += int(block.num_constraints)
+    return total
+
+
+def _poly_features(problem) -> InstanceFeatures:
+    n = int(problem.num_variables)
+    terms = problem.terms
+    coefficients = np.asarray(list(terms.values()), dtype=float)
+    # Pairwise interaction closure: each degree-k monomial couples its
+    # C(k, 2) variable pairs in the local-field update.
+    pairs = set()
+    for indices in terms:
+        for a in range(len(indices)):
+            for b in range(a + 1, len(indices)):
+                pairs.add((indices[a], indices[b]))
+    density = (
+        min(1.0, len(pairs) / _pair_count(n)) if n > 1 else 0.0
+    )
+    weight_range, integral = _weight_stats(coefficients)
+    return InstanceFeatures(
+        kind="poly",
+        num_variables=n,
+        num_constraints=_constraint_rows(problem),
+        num_terms=len(terms),
+        coupling_density=float(density),
+        weight_range=weight_range,
+        integral_weights=integral,
+        poly_degree=int(problem.max_order),
+    )
+
+
+def _quadratic_features(problem) -> InstanceFeatures:
+    quadratic = np.asarray(problem.quadratic, dtype=float)
+    linear = np.asarray(problem.linear, dtype=float)
+    n = int(linear.size)
+    upper = quadratic[np.triu_indices(n, k=1)] if n > 1 else np.empty(0)
+    couplings = int(np.count_nonzero(upper))
+    density = (
+        min(1.0, couplings / _pair_count(n)) if n > 1 else 0.0
+    )
+    coefficients = np.concatenate([upper[upper != 0.0], linear[linear != 0.0]])
+    weight_range, integral = _weight_stats(coefficients)
+    return InstanceFeatures(
+        kind="quadratic",
+        num_variables=n,
+        num_constraints=_constraint_rows(problem),
+        num_terms=couplings + int(np.count_nonzero(linear)),
+        coupling_density=float(density),
+        weight_range=weight_range,
+        integral_weights=integral,
+        poly_degree=2,
+    )
+
+
+def extract_features(problem) -> InstanceFeatures:
+    """Features of a problem or typed instance (``to_problem`` adapted).
+
+    Accepts everything :func:`repro.solve` accepts as its first argument:
+    a :class:`~repro.core.problem.ConstrainedProblem`, a
+    :class:`~repro.core.poly.PolyProblem`, or any typed instance exposing
+    ``to_problem()``.
+    """
+    if hasattr(problem, "to_problem"):
+        problem = problem.to_problem()
+    if hasattr(problem, "terms"):
+        return _poly_features(problem)
+    if hasattr(problem, "quadratic"):
+        return _quadratic_features(problem)
+    raise TypeError(
+        f"cannot extract planner features from {type(problem).__name__}; "
+        f"expected a ConstrainedProblem, PolyProblem, or an instance with "
+        f"to_problem()"
+    )
+
+
+def extract_batch_features(sizes) -> BatchFeatures:
+    """Batch features from per-job decision-variable counts."""
+    sizes = [int(size) for size in sizes]
+    return BatchFeatures(
+        num_jobs=len(sizes),
+        max_variables=max(sizes, default=0),
+        total_variables=sum(sizes),
+    )

@@ -74,14 +74,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-STRATEGIES = ("process", "fused", "auto")
+from repro.planner.tunables import AUTO_FUSED_MIN_JOBS
 
-# "auto" only fuses fleets of small instances: the block-diagonal scan wins
-# by amortising numpy dispatch overhead, which stops dominating once the
-# per-instance matmuls grow (measured crossover well above N=49 encoded
-# spins, below N≈200 — see benchmarks/bench_perf_fleet.py).
-_AUTO_FUSED_MAX_VARIABLES = 128
-_AUTO_FUSED_MIN_JOBS = 2
+STRATEGIES = ("process", "fused", "auto")
 
 
 @dataclass(frozen=True)
@@ -376,14 +371,16 @@ def _resolve_strategy(jobs, strategy: str) -> str:
             )
         return "fused"
     if strategy == "auto":
-        if len(jobs) >= _AUTO_FUSED_MIN_JOBS and not fused_blockers(jobs):
-            sizes = [_job_num_variables(job) for job in jobs]
-            if all(
-                size is not None and size <= _AUTO_FUSED_MAX_VARIABLES
-                for size in sizes
-            ):
-                return "fused"
-        return "process"
+        from repro.planner.plan import plan_batch_strategy
+
+        # The size-cap check is the expensive-free one, so the planner
+        # only runs once the batch is known shareable; the fused cap is
+        # the host model's calibrated tunable when one is persisted.
+        shareable = (
+            len(jobs) >= AUTO_FUSED_MIN_JOBS and not fused_blockers(jobs)
+        )
+        sizes = [_job_num_variables(job) for job in jobs]
+        return plan_batch_strategy(sizes, shareable=shareable)
     return "process"
 
 

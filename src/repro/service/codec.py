@@ -190,13 +190,37 @@ def _cost_from_wire(value) -> float:
     return float(value)
 
 
+def _plan_to_wire(detail) -> dict | None:
+    """The planner echo (``method="auto"``) as plain JSON, else None.
+
+    Accepts both live :class:`repro.planner.AutoSolveDetail` objects
+    (dataclass-backed plan/features) and already-decoded ``_WireDetail``
+    stand-ins (plain dicts), so re-encoding a decoded report is the
+    identity — the canonical round-trip contract.
+    """
+    plan = getattr(detail, "plan", None)
+    if plan is None:
+        return None
+    features = getattr(detail, "features", None)
+    prediction = getattr(detail, "prediction", None)
+    return {
+        "plan": dict(plan) if isinstance(plan, dict) else plan.as_dict(),
+        "features": (None if features is None
+                     else dict(features) if isinstance(features, dict)
+                     else features.as_dict()),
+        "prediction": None if prediction is None else dict(prediction),
+    }
+
+
 def report_to_wire(report: SolveReport) -> dict:
     """Encode a :class:`SolveReport` as a canonical wire dict.
 
     The identity fields (everything the report's own ``==`` compares,
     ``best_x`` included) travel exactly; of the free-form ``detail``
-    payload only ``final_lambdas`` crosses the wire — it is what a client
-    needs to chain warm solves — and the rest stays server-side.
+    payload only ``final_lambdas`` and the ``method="auto"`` planner echo
+    (``plan``/``features``/``prediction``) cross the wire — the lambdas
+    are what a client needs to chain warm solves, the plan is the
+    planner's audit trail — and the rest stays server-side.
     """
     final_lambdas = getattr(report.detail, "final_lambdas", None)
     return {
@@ -212,14 +236,31 @@ def report_to_wire(report: SolveReport) -> dict:
         "total_mcs": int(report.total_mcs),
         "final_lambdas":
             None if final_lambdas is None else array_to_json(final_lambdas),
+        "plan": _plan_to_wire(report.detail),
     }
 
 
 class _WireDetail:
-    """Detail stand-in for decoded reports (attribute access only)."""
+    """Detail stand-in for decoded reports.
 
-    def __init__(self, final_lambdas):
+    Attribute access mirrors the server-side detail objects; the
+    planner echo is additionally reachable by key (``detail["plan"]``)
+    to match :class:`repro.planner.AutoSolveDetail`.
+    """
+
+    def __init__(self, final_lambdas=None, *, plan=None, features=None,
+                 prediction=None):
         self.final_lambdas = final_lambdas
+        self.plan = plan
+        self.features = features
+        self.prediction = prediction
+
+    def __getitem__(self, key):
+        if key in ("plan", "features", "prediction"):
+            value = getattr(self, key)
+            if value is not None:
+                return value
+        raise KeyError(key)
 
 
 def report_from_wire(payload: dict) -> SolveReport:
@@ -233,9 +274,16 @@ def report_from_wire(payload: dict) -> SolveReport:
                          f"{type(payload).__name__}")
     best_x = payload.get("best_x")
     final_lambdas = payload.get("final_lambdas")
+    plan_payload = payload.get("plan")
     detail = None
-    if final_lambdas is not None:
-        detail = _WireDetail(array_from_json(final_lambdas))
+    if final_lambdas is not None or plan_payload is not None:
+        plan_payload = plan_payload or {}
+        detail = _WireDetail(
+            None if final_lambdas is None else array_from_json(final_lambdas),
+            plan=plan_payload.get("plan"),
+            features=plan_payload.get("features"),
+            prediction=plan_payload.get("prediction"),
+        )
     return SolveReport(
         method=payload["method"],
         backend=payload.get("backend"),

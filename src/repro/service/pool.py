@@ -136,6 +136,7 @@ class WorkerRuntime:
         self._session_max_entries = session_max_entries
         self._sessions: dict[tuple, object] = {}
         self._jobs_done = 0
+        self._planned = 0
         self._errors = 0
 
     def _backend_options_with_cache(self, job) -> dict | None:
@@ -159,6 +160,13 @@ class WorkerRuntime:
             )
         spec = method_info(job.method)
         if not (spec.uses_backend and spec.uses_lambdas):
+            return options
+        if spec.default_backend is None:
+            # Planner-driven methods (``auto``) choose their own backend
+            # and kernel knobs per instance — there is no fixed builder
+            # to introspect here, and they reject caller-supplied
+            # backend_options by contract, so the resident program cache
+            # stays out of their way.
             return options
         backend = job.backend if job.backend is not None else spec.default_backend
         builder = backend_info(backend).builder
@@ -249,6 +257,8 @@ class WorkerRuntime:
         from repro.service.codec import report_to_wire
 
         self._jobs_done += 1
+        if job.method == "auto":
+            self._planned += 1
         return {
             "ok": True,
             "report": report_to_wire(report),
@@ -263,6 +273,7 @@ class WorkerRuntime:
         sessions = list(self._sessions.values())
         return {
             "jobs_done": self._jobs_done,
+            "planned": self._planned,
             "errors": self._errors,
             "warm_hits": self.program_cache.warm_hits,
             "cold_starts": self.program_cache.cold_starts,
@@ -596,17 +607,20 @@ class ServicePool:
         queue = self.queue
         workers = []
         jobs_done = 0
+        jobs_planned = 0
         for worker_id in range(self.num_workers):
             stats = dict(self._worker_stats.get(worker_id, {}))
             stats["id"] = worker_id
             stats["mode"] = self.mode
             workers.append(stats)
             jobs_done += stats.get("jobs_done", 0)
+            jobs_planned += stats.get("planned", 0)
         uptime = (time.perf_counter() - self._started_at
                   if self._started_at is not None else 0.0)
         return {
             "uptime_seconds": uptime,
             "jobs_done": jobs_done,
+            "jobs_planned": jobs_planned,
             "jobs_per_second": jobs_done / uptime if uptime > 0 else 0.0,
             "paused": not self._gate.is_set(),
             "queue": {

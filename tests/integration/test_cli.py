@@ -247,3 +247,88 @@ class TestSweepStrategyFlag:
                      "--iterations", "15", "--mcs", "60"])
         assert code == 0
         assert "Solver sweep" in capsys.readouterr().out
+
+
+class TestPlannerCommands:
+    """`plan`, `solve --method auto`, `export-qubo`, and `.qubo` loading."""
+
+    @pytest.fixture
+    def qkp_file(self, tmp_path):
+        path = tmp_path / "small.qkp"
+        main(["generate-qkp", str(path), "--items", "14", "--seed", "5"])
+        return path
+
+    def test_plan_heuristic_fallback(self, qkp_file, capsys):
+        # The suite env disables the host model (REPRO_PERF_MODEL=""), so
+        # the decision degrades to the heuristic ladder rung.
+        assert main(["plan", str(qkp_file)]) == 0
+        out = capsys.readouterr().out
+        assert "features: kind=quadratic n=" in out
+        assert "fingerprint=" in out
+        assert "plan: backend=pbit kernel=lockstep" in out
+        assert "heuristic fallback" in out
+
+    def test_plan_with_model_prints_candidate_table(self, qkp_file, tmp_path,
+                                                    capsys):
+        from repro.planner import PerfModel
+
+        model_path = tmp_path / "perf_model.json"
+        PerfModel({
+            "pbit:lockstep:float64": [1.0, 0, 0, 0, 0],
+            "chromatic:csr:float64": [1e-9, 0, 0, 0, 0],
+        }).save(model_path)
+        assert main(["plan", str(qkp_file), "--model-path",
+                     str(model_path)]) == 0
+        out = capsys.readouterr().out
+        assert "plan: backend=chromatic storage=csr" in out
+        assert "<- chosen" in out
+        assert "chromatic:csr:float64" in out
+
+    def test_plan_missing_model_rejected(self, qkp_file, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["plan", str(qkp_file), "--model-path",
+                  str(tmp_path / "absent.json")])
+
+    def test_solve_method_auto(self, qkp_file, capsys):
+        code = main(["solve", str(qkp_file), "--method", "auto",
+                     "--iterations", "30", "--mcs", "100"])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "auto[" in out
+        assert "plan: backend=pbit kernel=lockstep" in out
+        assert "(source: heuristic)" in out
+
+    def test_model_path_requires_method_auto(self, qkp_file, tmp_path):
+        with pytest.raises(SystemExit, match="--method auto only"):
+            main(["solve", str(qkp_file), "--model-path",
+                  str(tmp_path / "model.json")])
+        with pytest.raises(SystemExit, match="--method auto only"):
+            main(["solve", str(qkp_file), "--method", "saim",
+                  "--model-path", str(tmp_path / "model.json"),
+                  "--iterations", "10", "--mcs", "50"])
+
+    def test_export_qubo_then_solve_round_trip(self, qkp_file, tmp_path,
+                                               capsys):
+        qubo_path = tmp_path / "small.qubo"
+        assert main(["export-qubo", str(qkp_file), str(qubo_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "slack" in out
+        assert qubo_path.is_file()
+
+        from repro.ising.qubo_io import read_qubo
+
+        model = read_qubo(qubo_path)
+        assert model.num_variables > 14  # decision + slack bits
+
+        code = main(["solve", str(qubo_path), "--method", "auto",
+                     "--iterations", "30", "--mcs", "100"])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "best objective" in out or "no feasible sample" in out
+
+    def test_export_qubo_rejects_poly(self, tmp_path):
+        sat_path = tmp_path / "inst.json"
+        main(["generate-max3sat", str(sat_path), "--variables", "12",
+              "--clauses", "40", "--seed", "2"])
+        with pytest.raises(SystemExit, match="quadratic-only"):
+            main(["export-qubo", str(sat_path), str(tmp_path / "out.qubo")])

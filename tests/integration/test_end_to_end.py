@@ -18,7 +18,7 @@ from repro.baselines.milp import solve_mkp_exact
 
 class TestPublicApi:
     def test_version(self):
-        assert repro.__version__ == "2.6.0"
+        assert repro.__version__ == "2.7.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:

@@ -1,0 +1,118 @@
+"""Planner feature extraction: deterministic, cheap, wire/pickle-safe."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.poly import PolyProblem
+from repro.planner import (
+    BatchFeatures,
+    InstanceFeatures,
+    extract_batch_features,
+    extract_features,
+)
+from repro.problems.generators import generate_qkp
+from repro.problems.max3sat import generate_max3sat
+
+
+class TestQuadraticFeatures:
+    def test_deterministic_across_calls(self):
+        instance = generate_qkp(18, 0.5, rng=3)
+        first = extract_features(instance)
+        second = extract_features(instance)
+        assert first == second
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_qkp_shape(self):
+        instance = generate_qkp(18, 0.5, rng=3)
+        features = extract_features(instance)
+        assert features.kind == "quadratic"
+        assert features.num_variables == 18
+        assert features.num_constraints == 1  # the capacity row
+        assert features.poly_degree == 2
+        assert 0.0 < features.coupling_density <= 1.0
+        assert features.weight_range >= 1.0
+        assert isinstance(features.integral_weights, bool)
+
+    def test_density_counts_upper_triangle(self):
+        problem = generate_qkp(12, 1.0, rng=0).to_problem()
+        features = extract_features(problem)
+        upper = problem.quadratic[np.triu_indices(12, k=1)]
+        expected = np.count_nonzero(upper) / (12 * 11 / 2)
+        assert features.coupling_density == pytest.approx(expected)
+
+    def test_fingerprint_distinguishes_shapes(self):
+        small = extract_features(generate_qkp(12, 0.5, rng=1))
+        large = extract_features(generate_qkp(40, 0.5, rng=1))
+        assert small.fingerprint() != large.fingerprint()
+
+    def test_same_shape_same_fingerprint_across_objects(self):
+        # Two separately generated but identical instances: the
+        # fingerprint identifies shape, not object identity.
+        a = extract_features(generate_qkp(15, 0.5, rng=7))
+        b = extract_features(generate_qkp(15, 0.5, rng=7))
+        assert a.fingerprint() == b.fingerprint()
+
+
+class TestPolyFeatures:
+    def test_max3sat_is_poly_degree_3(self):
+        instance = generate_max3sat(16, 60, rng=2)
+        features = extract_features(instance)
+        assert features.kind == "poly"
+        assert features.poly_degree == 3
+        assert features.num_variables == 16
+        assert features.num_terms > 0
+
+    def test_plain_poly_problem(self):
+        problem = PolyProblem(
+            num_variables=4, terms={(0, 1, 2): 1.5, (1, 3): -2.0, (2,): 1.0}
+        )
+        features = extract_features(problem)
+        assert features.kind == "poly"
+        assert features.num_terms == 3
+        assert features.poly_degree == 3
+        assert not features.integral_weights
+
+
+class TestSerialization:
+    def test_as_dict_from_dict_round_trip(self):
+        features = extract_features(generate_qkp(14, 0.4, rng=5))
+        payload = features.as_dict()
+        assert all(
+            isinstance(value, (str, int, float, bool))
+            for value in payload.values()
+        )
+        assert InstanceFeatures.from_dict(payload) == features
+
+    def test_json_shaped_payload_round_trips_fingerprint(self):
+        import json
+
+        features = extract_features(generate_qkp(14, 0.4, rng=5))
+        decoded = InstanceFeatures.from_dict(
+            json.loads(json.dumps(features.as_dict()))
+        )
+        assert decoded.fingerprint() == features.fingerprint()
+
+    def test_pickle_round_trip(self):
+        features = extract_features(generate_max3sat(12, 40, rng=1))
+        clone = pickle.loads(pickle.dumps(features))
+        assert clone == features
+        assert clone.fingerprint() == features.fingerprint()
+
+    def test_rejects_unknown_objects(self):
+        with pytest.raises(TypeError, match="cannot extract"):
+            extract_features(object())
+
+
+class TestBatchFeatures:
+    def test_batch_features(self):
+        batch = extract_batch_features([10, 30, 20])
+        assert batch == BatchFeatures(
+            num_jobs=3, max_variables=30, total_variables=60
+        )
+
+    def test_empty_batch(self):
+        batch = extract_batch_features([])
+        assert batch.num_jobs == 0
+        assert batch.max_variables == 0

@@ -1,0 +1,166 @@
+"""plan_solve / plan_batch_strategy: candidate sets, pricing, fallback."""
+
+import pytest
+
+from repro.core.saim import SaimConfig
+from repro.planner import PerfModel, extract_features, plan_solve
+from repro.planner.plan import fused_fleet_cap, plan_batch_strategy, SolvePlan
+from repro.planner.tunables import AUTO_FUSED_MAX_VARIABLES, AUTO_FUSED_MIN_JOBS
+from repro.problems.generators import generate_qkp
+from repro.problems.max3sat import generate_max3sat
+
+QKP = extract_features(generate_qkp(20, 0.6, rng=1))
+SAT = extract_features(generate_max3sat(16, 60, rng=1))
+
+
+def _model(**overrides):
+    """A synthetic model where chromatic:csr is by far the cheapest."""
+    configs = {
+        "pbit:lockstep:float64": [1e-3, 0, 0, 0, 0],
+        "pbit:lockstep:float32": [1e-3, 0, 0, 0, 0],
+        "pbit:serial:float64": [1e-2, 0, 0, 0, 0],
+        "chromatic:csr:float64": [1e-6, 0, 0, 0, 0],
+        "chromatic:csr:float32": [1e-6, 0, 0, 0, 0],
+        "chromatic:dense:float64": [1e-4, 0, 0, 0, 0],
+        "chromatic:dense:float32": [1e-4, 0, 0, 0, 0],
+        "higher_order::float64": [1e-5, 0, 0, 0, 0],
+    }
+    configs.update(overrides)
+    return PerfModel(configs)
+
+
+class TestHeuristicFallback:
+    def test_no_model_picks_front_door_default(self):
+        plan, prediction = plan_solve(QKP)
+        assert plan.backend == "pbit"
+        assert plan.kernel == "lockstep"
+        # The explicit lockstep pin IS the front-door default, and no
+        # dtype pin means the backend's own default dtype: the delegated
+        # solve is bit-identical to method="saim".
+        assert plan.dtype is None and plan.storage is None
+        assert plan.backend_options() == {"kernel": "lockstep"}
+        assert prediction["source"] == "heuristic"
+        assert prediction["predicted_seconds"] is None
+
+    def test_model_without_coverage_degrades_to_heuristic(self):
+        plan, prediction = plan_solve(QKP, model=PerfModel({}))
+        assert plan.kernel == "lockstep"
+        assert prediction["source"] == "heuristic"
+
+    def test_poly_shape_plans_higher_order(self):
+        plan, prediction = plan_solve(SAT)
+        assert plan.backend == "higher_order"
+        assert prediction["source"] == "heuristic"
+
+    def test_poly_shape_rejects_incompatible_pin(self):
+        with pytest.raises(ValueError, match="polynomial"):
+            plan_solve(SAT, backend="pbit")
+
+    def test_unmodeled_pinned_backend_passes_through(self):
+        plan, prediction = plan_solve(QKP, backend="pt")
+        assert plan.backend == "pt"
+        assert plan.backend_options() == {}
+        assert prediction["source"] == "heuristic"
+
+
+class TestModelSteering:
+    def test_model_steers_to_cheapest_candidate(self):
+        plan, prediction = plan_solve(QKP, model=_model())
+        assert plan.backend == "chromatic"
+        assert plan.storage == "csr"
+        assert prediction["source"] == "model"
+        assert prediction["chosen"] == "chromatic:csr:float64"
+        assert prediction["predicted_seconds"] == pytest.approx(
+            prediction["candidates"]["chromatic:csr:float64"])
+        assert prediction["candidates"]["chromatic:csr:float64"] == min(
+            prediction["candidates"].values())
+
+    def test_tie_prefers_heuristic_order(self):
+        # All candidates priced identically: the first candidate (today's
+        # front-door default) must win the tie.
+        flat = PerfModel({key: [1e-5, 0, 0, 0, 0] for key in _model().configs})
+        plan, prediction = plan_solve(QKP, model=flat)
+        assert prediction["source"] == "model"
+        assert plan.backend == "pbit" and plan.kernel == "lockstep"
+
+    def test_pinned_backend_narrows_candidates(self):
+        plan, prediction = plan_solve(QKP, model=_model(), backend="pbit")
+        assert plan.backend == "pbit"
+        assert all(key.startswith("pbit:")
+                   for key in prediction["candidates"])
+
+    def test_pinned_dtype_narrows_candidates(self):
+        config = SaimConfig(dtype="float32")
+        plan, prediction = plan_solve(
+            QKP, model=_model(), backend="chromatic", config=config)
+        assert plan.dtype == "float32"
+        assert set(prediction["candidates"]) == {
+            "chromatic:csr:float32", "chromatic:dense:float32"}
+
+    def test_serial_offered_only_at_replica_one(self):
+        cheap_serial = _model(**{"pbit:serial:float64": [1e-9, 0, 0, 0, 0]})
+        single, _ = plan_solve(QKP, model=cheap_serial, num_replicas=1)
+        assert single.kernel == "serial"
+        batched, prediction = plan_solve(
+            QKP, model=cheap_serial, num_replicas=8)
+        assert batched.kernel != "serial"
+        assert "pbit:serial:float64" not in prediction["candidates"]
+
+    def test_prediction_scales_with_sweep_budget(self):
+        short = SaimConfig(num_iterations=10, mcs_per_run=10)
+        long = SaimConfig(num_iterations=100, mcs_per_run=10)
+        _, small = plan_solve(QKP, model=_model(), config=short)
+        _, big = plan_solve(QKP, model=_model(), config=long)
+        assert small["num_sweeps"] == 100
+        assert big["num_sweeps"] == 1000
+        assert big["predicted_seconds"] == pytest.approx(
+            10 * small["predicted_seconds"])
+
+    def test_plan_knobs_pass_through(self):
+        plan, _ = plan_solve(QKP, model=_model(), num_replicas=8,
+                             restart="best")
+        assert plan.num_replicas == 8
+        assert plan.restart == "best"
+
+    def test_plan_dict_round_trip(self):
+        plan, _ = plan_solve(QKP, model=_model())
+        assert SolvePlan.from_dict(plan.as_dict()) == plan
+
+
+class TestBatchStrategy:
+    def test_fused_when_small_shareable_and_enough_jobs(self):
+        sizes = [24] * max(AUTO_FUSED_MIN_JOBS, 2)
+        assert plan_batch_strategy(sizes, shareable=True,
+                                   model=PerfModel({})) == "fused"
+
+    def test_not_shareable_forces_process(self):
+        assert plan_batch_strategy([24, 24, 24], shareable=False,
+                                   model=PerfModel({})) == "process"
+
+    def test_unknown_size_forces_process(self):
+        sizes = [24, None, 24]
+        assert plan_batch_strategy(sizes, shareable=True,
+                                   model=PerfModel({})) == "process"
+
+    def test_too_few_jobs_forces_process(self):
+        sizes = [24] * (AUTO_FUSED_MIN_JOBS - 1)
+        assert plan_batch_strategy(sizes, shareable=True,
+                                   model=PerfModel({})) == "process"
+
+    def test_oversized_instance_forces_process(self):
+        sizes = [AUTO_FUSED_MAX_VARIABLES + 1] * max(AUTO_FUSED_MIN_JOBS, 2)
+        assert plan_batch_strategy(sizes, shareable=True,
+                                   model=PerfModel({})) == "process"
+
+    def test_calibrated_cap_overrides_pinned_tunable(self):
+        model = PerfModel({}, tunables={"fused_max_variables": 10})
+        assert fused_fleet_cap(model) == 10
+        sizes = [11] * max(AUTO_FUSED_MIN_JOBS, 2)
+        assert plan_batch_strategy(sizes, shareable=True,
+                                   model=model) == "process"
+        assert plan_batch_strategy([10] * len(sizes), shareable=True,
+                                   model=model) == "fused"
+
+    def test_cap_without_model_is_pinned_tunable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PERF_MODEL", "")
+        assert fused_fleet_cap(None) == AUTO_FUSED_MAX_VARIABLES

@@ -9,6 +9,7 @@ backpressure.
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -20,7 +21,7 @@ from repro.ising._lockstep import AnnealProgram
 from repro.problems.generators import generate_qkp
 from repro.runtime import SolveJob
 from repro.service import SolverService
-from repro.service.codec import job_to_wire, report_from_wire
+from repro.service.codec import job_to_wire, report_from_wire, report_to_wire
 
 FAST = dict(num_iterations=10, mcs_per_run=60)
 
@@ -166,6 +167,7 @@ class TestAsyncJobs:
                 break
             deadline -= 1
             assert deadline > 0, "async job never finished"
+            time.sleep(0.1)  # a loaded 1-CPU host can outrun a bare poll loop
         assert status == 200
         assert (report_from_wire(body["report"])
                 == repro.solve(instance, rng=5, **FAST))
@@ -231,6 +233,46 @@ class TestBackpressure:
                     deadline -= 1
                     assert deadline > 0
                 assert body["status"] == "done"
+
+
+class TestAutoMethod:
+    """``method="auto"`` through the service: plan survives the wire."""
+
+    def test_auto_solve_round_trips_with_plan(self, service):
+        _, base = service
+        instance = generate_qkp(16, 0.5, rng=8)
+        payload = job_to_wire(SolveJob(
+            instance, method="auto", rng=21, config_overrides=dict(FAST),
+        ))
+        status, body = http_json(base, "/v1/solve", payload)
+        assert status == 200, body
+        wire = body["report"]
+        # The audit trail survives the wire verbatim.
+        assert wire["plan"] is not None
+        assert wire["plan"]["plan"]["backend"] == wire["backend"]
+        assert wire["plan"]["prediction"]["source"] in (
+            "model", "heuristic")
+        served = report_from_wire(wire)
+        assert served.method == "auto"
+        assert served.detail["plan"] == wire["plan"]["plan"]
+        # Canonical codec: decode then re-encode reproduces the wire form.
+        assert report_to_wire(served) == wire
+        # Bit-identity with the in-process front door (no model in the
+        # hermetic test env, so auto == saim on the same seed).
+        direct = repro.solve(instance, method="auto", rng=21, **FAST)
+        assert np.array_equal(served.best_x, direct.best_x)
+        assert served.best_cost == direct.best_cost
+        stats = http_json(base, "/v1/stats")[1]
+        assert stats["jobs_planned"] == 1
+
+    def test_non_auto_report_has_null_plan(self, service):
+        _, base = service
+        instance = generate_qkp(14, 0.5, rng=8)
+        status, body = http_json(base, "/v1/solve", wire_job(instance, 3))
+        assert status == 200
+        assert body["report"]["plan"] is None
+        stats = http_json(base, "/v1/stats")[1]
+        assert stats["jobs_planned"] == 0
 
 
 class TestObservability:
